@@ -1,0 +1,158 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not in the paper's tables, but each sweep isolates one design decision
+the paper makes in passing:
+
+* centroid vs medoid cluster prototypes (§3.2.2 "an alternative is to
+  use the medoid instead of centroid");
+* numerosity reduction on/off (§3.2.1 claims it enables variable-length
+  patterns and shrinks the grammar input);
+* SVM vs 1-NN on the transformed feature space (§3.1 "our algorithm
+  can work with any classifier");
+* instance-support vs occurrence-support for the γ threshold (the
+  definition in §2.1 vs the literal Algorithm 1 listing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import harness
+from repro import RPMClassifier, SaxParams
+from repro.baselines import NearestNeighborED
+from repro.data import load
+from repro.grammar.inference import discretize_class
+from repro.ml.metrics import error_rate
+from repro.ml.svm import SVC
+
+DATASETS = {
+    "tiny": ("CBF",),
+    "small": ("CBF", "GunPointSim", "ECGFiveDaysSim"),
+    "full": ("CBF", "GunPointSim", "ECGFiveDaysSim", "CoffeeSim", "TwoPatterns"),
+}
+
+PARAMS = {
+    "CBF": SaxParams(40, 6, 5),
+    "GunPointSim": SaxParams(40, 6, 5),
+    "ECGFiveDaysSim": SaxParams(40, 6, 5),
+    "CoffeeSim": SaxParams(80, 8, 6),
+    "TwoPatterns": SaxParams(32, 6, 5),
+}
+
+
+def _names():
+    return DATASETS[harness.bench_scale()]
+
+
+def _fit_variant(name, **kwargs) -> float:
+    dataset = load(name)
+    clf = RPMClassifier(sax_params=PARAMS[name], seed=0, **kwargs)
+    clf.fit(dataset.X_train, dataset.y_train)
+    return error_rate(dataset.y_test, clf.predict(dataset.X_test))
+
+
+def test_ablation_prototype(benchmark):
+    def experiment():
+        return [
+            [name, _fit_variant(name, prototype="centroid"), _fit_variant(name, prototype="medoid")]
+            for name in _names()
+        ]
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report = "\n".join(
+        [
+            "Ablation — cluster prototype (paper §3.2.2)",
+            harness.format_table(["dataset", "centroid", "medoid"], rows),
+            "\nExpected: the two prototypes perform comparably.",
+        ]
+    )
+    harness.write_report("ablation_prototype", report)
+    for _, centroid_err, medoid_err in rows:
+        assert abs(centroid_err - medoid_err) < 0.2
+
+
+def test_ablation_numerosity_reduction(benchmark):
+    def experiment():
+        rows = []
+        for name in _names():
+            dataset = load(name)
+            label = dataset.classes()[0]
+            instances = [row for row in dataset.class_instances(label)]
+            with_nr, _, _ = discretize_class(instances, PARAMS[name])
+            without_nr, _, _ = discretize_class(
+                instances, PARAMS[name], numerosity_reduction=False
+            )
+            err_with = _fit_variant(name, numerosity_reduction=True)
+            err_without = _fit_variant(name, numerosity_reduction=False)
+            rows.append(
+                [name, len(with_nr), len(without_nr), err_with, err_without]
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report = "\n".join(
+        [
+            "Ablation — numerosity reduction (paper §3.2.1)",
+            harness.format_table(
+                ["dataset", "words (NR)", "words (no NR)", "err (NR)", "err (no NR)"],
+                rows,
+            ),
+            "\nExpected: NR shrinks the grammar input substantially at no",
+            "accuracy cost (it is what enables variable-length patterns).",
+        ]
+    )
+    harness.write_report("ablation_numerosity", report)
+    for _, words_nr, words_full, err_nr, err_full in rows:
+        assert words_nr <= words_full
+        assert err_nr <= err_full + 0.15
+
+
+def test_ablation_classifier(benchmark):
+    def experiment():
+        return [
+            [
+                name,
+                _fit_variant(name),  # default RBF SVM
+                _fit_variant(name, classifier_factory=lambda: SVC(kernel="linear", C=1.0)),
+                _fit_variant(name, classifier_factory=NearestNeighborED),
+            ]
+            for name in _names()
+        ]
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report = "\n".join(
+        [
+            "Ablation — downstream classifier on the pattern features (§3.1)",
+            harness.format_table(["dataset", "SVM-rbf", "SVM-linear", "1NN-ED"], rows),
+            "\nExpected: the feature space carries the signal; all three",
+            "classifiers perform in the same band.",
+        ]
+    )
+    harness.write_report("ablation_classifier", report)
+    for _, rbf, linear, nn in rows:
+        assert max(rbf, linear, nn) - min(rbf, linear, nn) < 0.35
+
+
+def test_ablation_support_mode(benchmark):
+    def experiment():
+        return [
+            [
+                name,
+                _fit_variant(name, support_mode="instances"),
+                _fit_variant(name, support_mode="occurrences"),
+            ]
+            for name in _names()
+        ]
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report = "\n".join(
+        [
+            "Ablation — γ support counted over instances vs occurrences",
+            harness.format_table(["dataset", "instances", "occurrences"], rows),
+            "\nExpected: both readings of the paper give similar accuracy;",
+            "instance support (definition §2.1) is the stricter filter.",
+        ]
+    )
+    harness.write_report("ablation_support_mode", report)
+    errs = np.array([[r[1], r[2]] for r in rows], dtype=float)
+    assert np.abs(errs[:, 0] - errs[:, 1]).mean() < 0.15

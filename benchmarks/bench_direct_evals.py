@@ -1,0 +1,61 @@
+"""Paper §5.3: DIRECT's evaluation count R versus exhaustive search.
+
+The complexity analysis hinges on R — the number of unique SAX
+parameter triples DIRECT evaluates — being small: "the average value
+for R is less than 200, which is smaller than the average time series
+length 363", and most evaluations terminating early via the γ-support
+pruning. This bench measures R on the suite and compares it against
+the exhaustive grid size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import harness
+from repro.core.params import ParamSelector
+from repro.data import load
+
+
+def _direct_vs_grid():
+    rows = []
+    r_values = []
+    for name in harness.suite_names():
+        dataset = load(name)
+        selector = ParamSelector(
+            dataset.X_train, dataset.y_train, n_splits=2, cv_folds=3, seed=0
+        )
+        selector.select_direct(max_evaluations=40, max_iterations=20)
+        r = selector.n_evaluations
+        r_values.append(r)
+        ranges = selector.ranges
+        grid_size = (
+            (ranges.window[1] - ranges.window[0] + 1)
+            * (ranges.paa[1] - ranges.paa[0] + 1)
+            * (ranges.alphabet[1] - ranges.alphabet[0] + 1)
+        )
+        pruned = sum(1 for e in selector._cache.values() if e.pruned)
+        rows.append([name, dataset.series_length, r, pruned, grid_size])
+    return rows, r_values
+
+
+def test_direct_evaluation_count(benchmark):
+    rows, r_values = benchmark.pedantic(_direct_vs_grid, rounds=1, iterations=1)
+    report = "\n".join(
+        [
+            "§5.3 — DIRECT unique evaluations R vs exhaustive grid size",
+            harness.format_table(
+                ["dataset", "series len", "R", "pruned", "full grid"], rows
+            ),
+            "",
+            f"average R = {np.mean(r_values):.1f} "
+            "(paper: average R < 200, below the mean series length 363)",
+        ]
+    )
+    harness.write_report("direct_evals", report)
+
+    # Shape assertions: R must be far below the exhaustive grid and
+    # below the paper's bound.
+    for name, length, r, pruned, grid_size in rows:
+        assert r < 200
+        assert r < grid_size / 5

@@ -1,0 +1,111 @@
+"""Noise-robustness sweep (paper §1 claim, §6.2 evidence).
+
+The paper argues that classification from a few highly
+class-characteristic short patterns keeps working on *noisy data* —
+its evidence is the ICU waveform case study, where noise is present in
+training and test alike. This ablation therefore corrupts **both
+splits** with progressively nastier distortions (white noise, spikes,
+baseline wander, sensor dropout) and compares how RPM and the global
+1NN-ED baseline cope. A second mini-table documents the *distribution
+shift* regime (corrupting only the test split), where every
+learned-feature method — RPM included — is expected to suffer; that
+regime is outside the paper's claim but worth pinning down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import harness
+from repro import RPMClassifier, SaxParams
+from repro.baselines import NearestNeighborED
+from repro.data import load
+from repro.data.base import Dataset
+from repro.data.noise import CORRUPTIONS, corrupt_test_split
+from repro.ml.metrics import error_rate
+
+DATASETS = {
+    "tiny": ("GunPointSim",),
+    "small": ("GunPointSim", "CBF"),
+    "full": ("GunPointSim", "CBF", "TraceSim"),
+}
+PARAMS = {
+    "GunPointSim": SaxParams(40, 6, 5),
+    "CBF": SaxParams(40, 6, 5),
+    "TraceSim": SaxParams(50, 6, 5),
+}
+
+
+def _corrupt_both(dataset: Dataset, corruption: str) -> Dataset:
+    fn = CORRUPTIONS[corruption]
+    return Dataset(
+        name=f"{dataset.name}+{corruption}",
+        X_train=fn(dataset.X_train, 11),
+        y_train=dataset.y_train.copy(),
+        X_test=fn(dataset.X_test, 12),
+        y_test=dataset.y_test.copy(),
+    )
+
+
+def _errors(dataset: Dataset, params: SaxParams) -> tuple[float, float]:
+    rpm = RPMClassifier(sax_params=params, seed=0)
+    rpm.fit(dataset.X_train, dataset.y_train)
+    nn = NearestNeighborED().fit(dataset.X_train, dataset.y_train)
+    return (
+        error_rate(dataset.y_test, nn.predict(dataset.X_test)),
+        error_rate(dataset.y_test, rpm.predict(dataset.X_test)),
+    )
+
+
+def _experiment():
+    rows = []
+    noisy_errors = {"RPM": [], "NN-ED": []}
+    for ds_name in DATASETS[harness.bench_scale()]:
+        dataset = load(ds_name)
+        params = PARAMS[ds_name]
+        nn_clean, rpm_clean = _errors(dataset, params)
+        rows.append([f"{ds_name} (clean)", nn_clean, rpm_clean])
+        for name in sorted(CORRUPTIONS):
+            nn_err, rpm_err = _errors(_corrupt_both(dataset, name), params)
+            rows.append([f"{ds_name} ({name})", nn_err, rpm_err])
+            noisy_errors["RPM"].append(rpm_err)
+            noisy_errors["NN-ED"].append(nn_err)
+
+    # Distribution-shift appendix: corrupt only the test split.
+    shift_rows = []
+    ds_name = DATASETS[harness.bench_scale()][0]
+    dataset = load(ds_name)
+    rpm = RPMClassifier(sax_params=PARAMS[ds_name], seed=0)
+    rpm.fit(dataset.X_train, dataset.y_train)
+    for name in sorted(CORRUPTIONS):
+        shifted = corrupt_test_split(dataset, name, seed=1)
+        shift_rows.append(
+            [f"{ds_name} ({name})", error_rate(shifted.y_test, rpm.predict(shifted.X_test))]
+        )
+    return rows, noisy_errors, shift_rows
+
+
+def test_noise_robustness(benchmark):
+    rows, noisy_errors, shift_rows = benchmark.pedantic(
+        _experiment, rounds=1, iterations=1
+    )
+    mean_rpm = float(np.mean(noisy_errors["RPM"]))
+    mean_nn = float(np.mean(noisy_errors["NN-ED"]))
+    report = "\n".join(
+        [
+            "Robustness sweep — noise in BOTH splits (the paper's regime)",
+            harness.format_table(["dataset (corruption)", "NN-ED", "RPM"], rows),
+            "",
+            f"mean error under corruption: NN-ED {mean_nn:.3f}, RPM {mean_rpm:.3f}",
+            "Expected: RPM stays at least as accurate as the global distance",
+            "on noisy data (the §6.2 medical-alarm regime).",
+            "",
+            "Appendix — distribution shift (train clean, test corrupted):",
+            harness.format_table(["dataset (corruption)", "RPM"], shift_rows),
+            "Learned pattern-distance features are calibrated on the training",
+            "distribution, so test-only corruption hurts RPM like any learned",
+            "method; the paper's robustness claim does not cover this regime.",
+        ]
+    )
+    harness.write_report("robustness", report)
+    assert mean_rpm <= mean_nn + 0.05, (mean_rpm, mean_nn)

@@ -1,0 +1,78 @@
+"""Paper Table 1 + Figure 7: classification error rates on the suite.
+
+Reproduces the error-rate table for the six methods (NN-ED, NN-DTWB,
+SAX-VSM, FS, LS, RPM), the #wins row, the pairwise Wilcoxon
+signed-rank p-values, and the Figure 7 scatter series (pairwise error
+coordinates). The expected *shape* (paper §5.2): RPM and LS are the
+two most accurate and statistically indistinguishable (p > 0.05); RPM
+is significantly better than FS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import harness
+from repro.ml.stats import wilcoxon_signed_rank
+
+
+def _accuracy_report(results, names) -> str:
+    methods = harness.METHOD_ORDER
+    rows = []
+    errors = {m: [] for m in methods}
+    for ds in names:
+        row = [ds]
+        for m in methods:
+            err = results[(m, ds)].error
+            errors[m].append(err)
+            row.append(err)
+        rows.append(row)
+
+    wins = harness.count_wins(errors)
+    rows.append(["#wins (incl. ties)"] + [wins[m] for m in methods])
+
+    lines = ["Table 1 — classification error rates"]
+    lines.append(harness.format_table(["dataset", *methods], rows))
+
+    lines.append("\nWilcoxon signed-rank, RPM vs rivals (Figure 7):")
+    rpm = np.array(errors["RPM"])
+    for m in methods:
+        if m == "RPM":
+            continue
+        other = np.array(errors[m])
+        try:
+            p = wilcoxon_signed_rank(other, rpm).p_value
+            verdict = "significant" if p < 0.05 else "not significant"
+            lines.append(f"  {m:<8s} p = {p:.4f}  ({verdict} at 95%)")
+        except ValueError:
+            lines.append(f"  {m:<8s} p = n/a (all differences zero)")
+
+    lines.append("\nFigure 7 scatter series (x = rival error, y = RPM error):")
+    for m in methods:
+        if m == "RPM":
+            continue
+        pairs = ", ".join(
+            f"({e:.3f},{r:.3f})" for e, r in zip(errors[m], errors["RPM"])
+        )
+        lines.append(f"  {m}: {pairs}")
+    return "\n".join(lines)
+
+
+def test_table1_accuracy(benchmark, suite_results, suite_names):
+    report = benchmark.pedantic(
+        lambda: _accuracy_report(suite_results, suite_names), rounds=1, iterations=1
+    )
+    harness.write_report("table1_accuracy", report)
+
+    # Shape assertions from the paper's §5.2.
+    methods = harness.METHOD_ORDER
+    errors = {
+        m: [suite_results[(m, ds)].error for ds in suite_names] for m in methods
+    }
+    mean_err = {m: float(np.mean(errors[m])) for m in methods}
+    # RPM should be among the most accurate methods overall.
+    ranked = sorted(mean_err, key=mean_err.get)
+    assert "RPM" in ranked[:3], f"RPM mean-error rank too low: {mean_err}"
+    # RPM should not lose to Fast Shapelets on average (paper: RPM
+    # significantly more accurate than FS).
+    assert mean_err["RPM"] <= mean_err["FS"] + 0.02, mean_err

@@ -1,0 +1,28 @@
+"""Benchmark fixtures: a shared per-session suite-results cache."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import harness  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def suite_results():
+    """Accuracy + runtime for every (method, dataset) of the bench suite.
+
+    Computed once; Table 1 (accuracy / Figure 7) and Table 2
+    (runtime / Figure 8) both read from it, mirroring how the paper
+    reports both measurements from the same runs.
+    """
+    return harness.run_suite()
+
+
+@pytest.fixture(scope="session")
+def suite_names():
+    return harness.suite_names()

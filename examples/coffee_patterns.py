@@ -1,0 +1,71 @@
+"""Paper Figure 3: representative patterns in Coffee spectra.
+
+Arabica and Robusta FTIR spectra differ in the caffeine and
+chlorogenic-acid absorption bands; RPM should pick patterns covering
+those regions. Run with ``python examples/coffee_patterns.py``.
+"""
+
+from __future__ import annotations
+
+from example_utils import heading, sparkline
+
+from repro import RPMClassifier, SaxParams
+from repro.data import load
+from repro.distance.best_match import best_match
+from repro.ml.metrics import error_rate
+
+#: Normalized positions of the class-discriminative bands in the
+#: synthetic Coffee generator (see repro.data.spectra.coffee_sim).
+CAFFEINE_BAND = 0.60
+CHLOROGENIC_BAND = 0.72
+
+
+def main() -> None:
+    dataset = load("CoffeeSim")
+    print(heading(f"Representative patterns on {dataset.name} (paper Figure 3)"))
+    print(dataset.summary_row())
+
+    clf = RPMClassifier(sax_params=SaxParams(80, 8, 6), seed=0)
+    clf.fit(dataset.X_train, dataset.y_train)
+    err = error_rate(dataset.y_test, clf.predict(dataset.X_test))
+    print(f"\ntest error rate: {err:.3f}   patterns: {len(clf.patterns_)}")
+
+    names = {0: "Arabica", 1: "Robusta"}
+    m = dataset.series_length
+    for pattern in clf.patterns_:
+        # Locate the pattern on a training spectrum of its class to see
+        # which spectral region it covers.
+        exemplar = dataset.class_instances(pattern.label)[0]
+        match = best_match(pattern.values, exemplar)
+        lo = match.position / m
+        hi = (match.position + pattern.length) / m
+        covers = []
+        if lo <= CAFFEINE_BAND <= hi:
+            covers.append("caffeine band")
+        if lo <= CHLOROGENIC_BAND <= hi:
+            covers.append("chlorogenic-acid band")
+        coverage = ", ".join(covers) if covers else "other constituents"
+        print(
+            f"\nclass {names[int(pattern.label)]:<8s} span [{lo:.2f}, {hi:.2f}] "
+            f"of the spectrum -> {coverage}"
+        )
+        print("  " + sparkline(pattern.values))
+
+    caffeine_covered = any(
+        _covers(clf, dataset, p, CAFFEINE_BAND) for p in clf.patterns_
+    )
+    print(
+        "\nAt least one pattern covers the caffeine band:"
+        f" {'yes' if caffeine_covered else 'no'}"
+    )
+
+
+def _covers(clf, dataset, pattern, band: float) -> bool:
+    exemplar = dataset.class_instances(pattern.label)[0]
+    match = best_match(pattern.values, exemplar)
+    m = dataset.series_length
+    return match.position / m <= band <= (match.position + pattern.length) / m
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Paper Figures 5 and 6: the pattern-distance feature space.
+
+Two visually similar ECG classes become linearly separable once each
+series is represented by its closest-match distances to the top two
+representative patterns. Run with
+``python examples/ecg_feature_space.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from example_utils import ascii_scatter, heading, sparkline
+
+from repro import RPMClassifier, SaxParams
+from repro.core.transform import pattern_features
+from repro.data import load
+from repro.ml.metrics import error_rate
+from repro.ml.svm import SVC
+
+
+def main() -> None:
+    dataset = load("ECGFiveDaysSim")
+    print(heading(f"Pattern feature space on {dataset.name} (Figures 5/6)"))
+    print(dataset.summary_row())
+
+    clf = RPMClassifier(sax_params=SaxParams(40, 6, 5), seed=0)
+    clf.fit(dataset.X_train, dataset.y_train)
+    err = error_rate(dataset.y_test, clf.predict(dataset.X_test))
+    print(f"\ntest error rate with all patterns: {err:.3f}")
+
+    print(heading("Best representative pattern per class (Figure 5)"))
+    best_by_class = {}
+    for pattern in clf.patterns_:
+        best_by_class.setdefault(pattern.label, pattern)
+    for label, pattern in sorted(best_by_class.items()):
+        print(f"\nclass {label}  len={pattern.length}")
+        print("  " + sparkline(pattern.values))
+
+    # Figure 6: transform the training data onto the top two patterns.
+    top_two = [p for _, p in sorted(best_by_class.items())][:2]
+    if len(top_two) < 2:
+        top_two = clf.patterns_[:2]
+    F = pattern_features(dataset.X_train, top_two)
+    print(heading("Training data in the 2-pattern feature space (Figure 6)"))
+    print("x = distance to pattern 1, y = distance to pattern 2\n")
+    print(ascii_scatter(F[:, 0], F[:, 1], dataset.y_train))
+
+    # The paper's point: the transformed data is linearly separable.
+    linear = SVC(kernel="linear", C=10.0).fit(F, dataset.y_train)
+    train_acc = float(np.mean(linear.predict(F) == dataset.y_train))
+    print(f"\nlinear SVM training accuracy in this 2-D space: {train_acc:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin re-export so the example scripts stay standalone.
+
+The actual renderers live in :mod:`repro.viz` (part of the library,
+tested there); examples import through this shim so they can be copied
+out of the repository with a one-line change.
+"""
+
+from repro.viz import annotate_interval, ascii_scatter, heading, sparkline
+
+__all__ = ["annotate_interval", "ascii_scatter", "heading", "sparkline"]

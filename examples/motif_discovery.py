@@ -1,0 +1,71 @@
+"""Class-specific motifs beyond classification (paper §1, §2.1).
+
+The paper stresses that RPM's grammar-based motif discovery "offers a
+unique advantage that extends beyond the classification task". This
+example uses the standalone :mod:`repro.motif` API on a long ECG-like
+recording: it finds the recurring heartbeat motif, shows the
+rule-density curve, and localizes an injected arrhythmic anomaly as the
+top discord. Run with ``python examples/motif_discovery.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from example_utils import annotate_interval, heading, sparkline
+
+from repro.data import heartbeat
+from repro.motif import find_discords_density, find_motifs, rule_density
+from repro.sax.discretize import SaxParams
+
+
+def make_recording(n_beats: int = 20, beat_length: int = 60, seed: int = 5):
+    """A long quasi-periodic ECG strip with one anomalous beat."""
+    rng = np.random.default_rng(seed)
+    beats = []
+    anomaly_index = 13
+    for i in range(n_beats):
+        if i == anomaly_index:
+            beat = heartbeat(rng, beat_length, st_elevation=-0.6, t_amp=-0.5, r_amp=1.0)
+        else:
+            beat = heartbeat(rng, beat_length, noise=0.04)
+        beats.append(beat)
+    series = np.concatenate(beats)
+    anomaly_span = (anomaly_index * beat_length, (anomaly_index + 1) * beat_length)
+    return series, anomaly_span
+
+
+def main() -> None:
+    series, (anom_lo, anom_hi) = make_recording()
+    params = SaxParams(45, 5, 4)
+
+    print(heading("Motif discovery in a long ECG recording"))
+    print(f"{series.size} points, anomalous beat at [{anom_lo}, {anom_hi})")
+    print("  " + sparkline(series))
+    print("  " + annotate_interval(series.size, anom_lo, anom_hi))
+
+    motifs = find_motifs(series, params, top_k=3, rank_by="coverage")
+    print(heading("Top motifs (recurring heartbeat structure)"))
+    for motif in motifs:
+        print(
+            f"R{motif.rule_id}: {motif.frequency} occurrences, "
+            f"mean length {motif.mean_length():.0f}, "
+            f"covers {motif.covered_points()} points"
+        )
+        if motif.prototype is not None:
+            print("  prototype: " + sparkline(motif.prototype, width=40))
+
+    density = rule_density(series.size, find_motifs(series, params, refine=False))
+    print(heading("Grammar rule density (low = never repeats = anomalous)"))
+    print("  " + sparkline(density.astype(float)))
+
+    discord = find_discords_density(series, params, n_discords=1)[0]
+    print(heading("Top discord (rare-rule anomaly detection)"))
+    print(f"interval [{discord.start}, {discord.end}), isolation score "
+          f"{discord.score:.2f}, mean density {discord.density:.1f}")
+    hit = not (discord.end <= anom_lo or discord.start >= anom_hi)
+    print(f"overlaps the injected arrhythmic beat: {'yes' if hit else 'no'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Paper §6.1 / Figure 10 / Table 4: rotation-invariant classification.
+
+The test split is rotated at random cut points (training data stays
+untouched). Global-distance classifiers collapse; RPM with the
+two-copy closest-match transform barely moves. Run with
+``python examples/rotation_invariance.py``.
+"""
+
+from __future__ import annotations
+
+from example_utils import heading, sparkline
+
+from repro import RPMClassifier, SaxParams
+from repro.baselines import NearestNeighborED
+from repro.data import load, rotate_test_split
+from repro.ml.metrics import error_rate
+
+
+def main() -> None:
+    dataset = load("GunPointSim")
+    rotated = rotate_test_split(dataset, seed=1)
+    print(heading(f"Rotation case study on {dataset.name} (paper §6.1)"))
+    print(dataset.summary_row())
+
+    print("\noriginal vs rotated test instance:")
+    print("  " + sparkline(dataset.X_test[0]))
+    print("  " + sparkline(rotated.X_test[0]))
+
+    rows = []
+
+    nn = NearestNeighborED().fit(dataset.X_train, dataset.y_train)
+    rows.append(
+        (
+            "NN-ED",
+            error_rate(dataset.y_test, nn.predict(dataset.X_test)),
+            error_rate(rotated.y_test, nn.predict(rotated.X_test)),
+        )
+    )
+
+    rpm_plain = RPMClassifier(sax_params=SaxParams(40, 6, 5), seed=0)
+    rpm_plain.fit(dataset.X_train, dataset.y_train)
+    rpm_rot = RPMClassifier(
+        sax_params=SaxParams(40, 6, 5), rotation_invariant=True, seed=0
+    )
+    rpm_rot.fit(dataset.X_train, dataset.y_train)
+    rows.append(
+        (
+            "RPM (plain)",
+            error_rate(dataset.y_test, rpm_plain.predict(dataset.X_test)),
+            error_rate(rotated.y_test, rpm_plain.predict(rotated.X_test)),
+        )
+    )
+    rows.append(
+        (
+            "RPM (rotation-invariant)",
+            error_rate(dataset.y_test, rpm_rot.predict(dataset.X_test)),
+            error_rate(rotated.y_test, rpm_rot.predict(rotated.X_test)),
+        )
+    )
+
+    print(heading("Error rates (paper Table 4 protocol)"))
+    print(f"{'method':<26s} {'original':>9s} {'rotated':>9s}")
+    for name, orig, rot in rows:
+        print(f"{name:<26s} {orig:>9.3f} {rot:>9.3f}")
+
+    print(
+        "\nExpected shape (paper): NN-ED degrades drastically under rotation;"
+        "\nrotation-invariant RPM stays close to its unrotated error."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — full reproduction of *RPM: Representative Pattern Mining for
+Efficient Time Series Classification* (Wang et al., EDBT 2016).
+
+Quick start::
+
+    from repro import RPMClassifier
+    from repro.data import load
+
+    dataset = load("CBF")
+    clf = RPMClassifier(direct_budget=30, seed=0)
+    clf.fit(dataset.X_train, dataset.y_train)
+    predictions = clf.predict(dataset.X_test)
+    print(clf.describe_patterns())
+
+Subpackages
+-----------
+``repro.core``
+    The RPM pipeline (Algorithms 1-3, transform, classifier).
+``repro.sax`` / ``repro.grammar`` / ``repro.cluster`` /
+``repro.distance`` / ``repro.ml`` / ``repro.opt``
+    The substrates RPM is built on, all implemented from scratch.
+``repro.baselines``
+    The paper's rivals: 1NN-ED, 1NN-DTW (best window), SAX-VSM,
+    Fast Shapelets, Learning Shapelets.
+``repro.data``
+    UCR loader, synthetic UCR-like generators, rotation tools.
+"""
+
+from .core.rpm import RPMClassifier
+from .sax.discretize import SaxParams
+
+__version__ = "1.0.0"
+
+__all__ = ["RPMClassifier", "SaxParams", "__version__"]

@@ -1,0 +1,36 @@
+"""Rival classifiers from the paper's evaluation (Table 1).
+
+* :class:`NearestNeighborED` — 1NN, Euclidean distance.
+* :class:`NearestNeighborDTW` — 1NN, DTW with the best warping window.
+* :class:`SaxVsmClassifier` — SAX-VSM tf·idf bags of SAX words.
+* :class:`FastShapeletsClassifier` — SAX random-projection shapelet tree.
+* :class:`LearningShapeletsClassifier` — gradient-learned shapelets.
+
+Two further related-work methods ship as extensions:
+:class:`ShapeletTransformClassifier` (Hills et al.) and
+:class:`BagOfPatternsClassifier` (Lin et al. 2012).
+"""
+
+from .bag_of_patterns import BagOfPatternsClassifier
+from .fast_shapelets import FastShapeletsClassifier, information_gain
+from .learning_shapelets import LearningShapeletsClassifier, TunedLearningShapelets
+from .logical_shapelets import LogicalNode, LogicalShapeletsClassifier
+from .nn import DEFAULT_WINDOW_FRACTIONS, NearestNeighborDTW, NearestNeighborED
+from .saxvsm import SaxVsmClassifier
+from .shapelet_transform import Shapelet, ShapeletTransformClassifier
+
+__all__ = [
+    "BagOfPatternsClassifier",
+    "DEFAULT_WINDOW_FRACTIONS",
+    "Shapelet",
+    "ShapeletTransformClassifier",
+    "FastShapeletsClassifier",
+    "LearningShapeletsClassifier",
+    "LogicalNode",
+    "LogicalShapeletsClassifier",
+    "NearestNeighborDTW",
+    "NearestNeighborED",
+    "SaxVsmClassifier",
+    "TunedLearningShapelets",
+    "information_gain",
+]

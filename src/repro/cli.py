@@ -1,0 +1,226 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro datasets                     # list available datasets
+    python -m repro train CBF -o model.npz       # mine patterns + save model
+    python -m repro evaluate CBF                 # train/test error on a dataset
+    python -m repro evaluate CBF --method NN-ED  # a baseline instead of RPM
+    python -m repro patterns model.npz           # inspect a saved model
+    python -m repro classify model.npz data.txt  # label UCR-format series
+
+``train``/``evaluate`` accept either a registry dataset name or (when
+``RPM_UCR_ROOT`` is set) a real UCR archive dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from . import __version__
+from .baselines import (
+    FastShapeletsClassifier,
+    LearningShapeletsClassifier,
+    NearestNeighborDTW,
+    NearestNeighborED,
+    SaxVsmClassifier,
+)
+from .core.io import load_model, save_model
+from .core.rpm import RPMClassifier
+from .data import GENERATORS, available_ucr_datasets, load
+from .data.ucr import load_ucr_file
+from .ml.metrics import error_rate
+from .sax.discretize import SaxParams
+
+BASELINES = {
+    "NN-ED": NearestNeighborED,
+    "NN-DTWB": NearestNeighborDTW,
+    "SAX-VSM": SaxVsmClassifier,
+    "FS": FastShapeletsClassifier,
+    "LS": LearningShapeletsClassifier,
+}
+
+
+def _build_rpm(args) -> RPMClassifier:
+    if args.window:
+        params = SaxParams(args.window, args.paa, args.alphabet)
+        return RPMClassifier(sax_params=params, gamma=args.gamma, seed=args.seed)
+    return RPMClassifier(
+        direct_budget=args.budget,
+        n_splits=args.splits,
+        gamma=args.gamma,
+        seed=args.seed,
+    )
+
+
+def cmd_datasets(_args) -> int:
+    """``repro datasets``: list every available dataset."""
+    print("synthetic registry datasets:")
+    for name in sorted(GENERATORS):
+        print(f"  {load(name).summary_row()}")
+    ucr = available_ucr_datasets()
+    if ucr:
+        print("\nUCR archive datasets (RPM_UCR_ROOT):")
+        for name in ucr:
+            print(f"  {name}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    """``repro train``: fit RPM on a dataset, optionally save it."""
+    dataset = load(args.dataset)
+    clf = _build_rpm(args)
+    start = time.perf_counter()
+    clf.fit(dataset.X_train, dataset.y_train)
+    elapsed = time.perf_counter() - start
+    err = error_rate(dataset.y_test, clf.predict(dataset.X_test))
+    print(f"{dataset.name}: trained in {elapsed:.1f}s, "
+          f"{len(clf.patterns_)} patterns, test error {err:.3f}")
+    if args.output:
+        save_model(clf, args.output)
+        print(f"model saved to {args.output}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    """``repro evaluate``: score one method on one dataset."""
+    dataset = load(args.dataset)
+    if args.method == "RPM":
+        model = _build_rpm(args)
+    else:
+        model = BASELINES[args.method]()
+    start = time.perf_counter()
+    model.fit(dataset.X_train, dataset.y_train)
+    train_time = time.perf_counter() - start
+    start = time.perf_counter()
+    predictions = model.predict(dataset.X_test)
+    test_time = time.perf_counter() - start
+    err = error_rate(dataset.y_test, predictions)
+    print(
+        f"{dataset.name} / {args.method}: error {err:.3f} "
+        f"(train {train_time:.1f}s, classify {test_time:.1f}s)"
+    )
+    return 0
+
+
+def cmd_patterns(args) -> int:
+    """``repro patterns``: print a saved model's patterns."""
+    clf = load_model(args.model)
+    print(clf.describe_patterns())
+    return 0
+
+
+def cmd_classify(args) -> int:
+    """``repro classify``: label UCR-format series with a saved model."""
+    clf = load_model(args.model)
+    X, _ = load_ucr_file(args.data)
+    for i, label in enumerate(clf.predict(X)):
+        print(f"{i}\t{label}")
+    return 0
+
+
+def cmd_motifs(args) -> int:
+    """``repro motifs``: motif/discord discovery on a long series."""
+    from .motif import find_discords_density, find_motifs
+    from .viz import sparkline
+
+    X, _ = load_ucr_file(args.data)
+    series = X.ravel() if X.shape[0] == 1 else np.concatenate(list(X))
+    params = SaxParams(args.window, args.paa, args.alphabet)
+    motifs = find_motifs(series, params, top_k=args.top, rank_by=args.rank)
+    print(f"{len(series)}-point series, SAX {params.as_tuple()}:")
+    for motif in motifs:
+        print(
+            f"R{motif.rule_id}: freq={motif.frequency} "
+            f"mean_len={motif.mean_length():.0f} covers={motif.covered_points()}"
+        )
+        if motif.prototype is not None:
+            print("  " + sparkline(motif.prototype, width=48))
+    if args.discords:
+        for discord in find_discords_density(series, params, n_discords=args.discords):
+            print(
+                f"discord [{discord.start}, {discord.end}) "
+                f"score={discord.score:.2f} density={discord.density:.1f}"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RPM (EDBT 2016) — representative pattern mining for "
+        "time series classification",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list available datasets").set_defaults(
+        func=cmd_datasets
+    )
+
+    def add_rpm_options(p):
+        p.add_argument("--gamma", type=float, default=0.2, help="min motif support")
+        p.add_argument("--budget", type=int, default=40, help="DIRECT evaluations")
+        p.add_argument("--splits", type=int, default=3, help="validation splits")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--window", type=int, default=0,
+                       help="fixed SAX window (skips parameter search)")
+        p.add_argument("--paa", type=int, default=6, help="fixed PAA size")
+        p.add_argument("--alphabet", type=int, default=5, help="fixed alphabet size")
+
+    train = sub.add_parser("train", help="train RPM on a dataset")
+    train.add_argument("dataset")
+    train.add_argument("-o", "--output", help="save the model (.npz)")
+    add_rpm_options(train)
+    train.set_defaults(func=cmd_train)
+
+    evaluate = sub.add_parser("evaluate", help="error rate of a method on a dataset")
+    evaluate.add_argument("dataset")
+    evaluate.add_argument(
+        "--method", choices=["RPM", *BASELINES], default="RPM"
+    )
+    add_rpm_options(evaluate)
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    patterns = sub.add_parser("patterns", help="inspect a saved model")
+    patterns.add_argument("model")
+    patterns.set_defaults(func=cmd_patterns)
+
+    classify = sub.add_parser("classify", help="label UCR-format series")
+    classify.add_argument("model")
+    classify.add_argument("data", help="UCR-format text file")
+    classify.set_defaults(func=cmd_classify)
+
+    motifs = sub.add_parser(
+        "motifs", help="discover motifs/discords in a long series"
+    )
+    motifs.add_argument("data", help="UCR-format text file (rows are concatenated)")
+    motifs.add_argument("--window", type=int, default=40)
+    motifs.add_argument("--paa", type=int, default=5)
+    motifs.add_argument("--alphabet", type=int, default=4)
+    motifs.add_argument("--top", type=int, default=5, help="motifs to report")
+    motifs.add_argument("--rank", choices=["frequency", "length", "coverage"],
+                        default="frequency")
+    motifs.add_argument("--discords", type=int, default=0,
+                        help="also report this many discords")
+    motifs.set_defaults(func=cmd_motifs)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

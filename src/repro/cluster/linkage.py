@@ -1,0 +1,154 @@
+"""Agglomerative hierarchical clustering (complete / single / average linkage).
+
+RPM refines the subsequences behind each grammar rule with
+*complete-linkage* hierarchical clustering (paper §3.2.2). We implement
+the classic Lance-Williams agglomeration over a precomputed distance
+matrix; sizes here are small (a motif rarely has more than a few
+hundred occurrences), so the straightforward O(n³) scheme is plenty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Linkage", "Merge", "agglomerate", "cut_k"]
+
+_METHODS = ("complete", "single", "average")
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One agglomeration step: clusters *left* and *right* merge at *height*.
+
+    Cluster ids follow the scipy convention: ids ``0..n-1`` are the
+    singletons; the merge at step ``t`` creates cluster ``n + t``.
+    """
+
+    left: int
+    right: int
+    height: float
+    size: int
+
+
+@dataclass
+class Linkage:
+    """The full merge tree produced by :func:`agglomerate`."""
+
+    n: int
+    merges: list[Merge]
+
+    def heights(self) -> np.ndarray:
+        """Merge heights in agglomeration order."""
+        return np.array([m.height for m in self.merges])
+
+
+def _check_distance_matrix(dist: np.ndarray) -> np.ndarray:
+    d = np.asarray(dist, dtype=float)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise ValueError(f"distance matrix must be square, got {d.shape}")
+    if d.shape[0] == 0:
+        raise ValueError("distance matrix must be non-empty")
+    if not np.allclose(d, d.T, atol=1e-9):
+        raise ValueError("distance matrix must be symmetric")
+    if (np.diag(d) > 1e-9).any():
+        raise ValueError("distance matrix must have a zero diagonal")
+    return d
+
+
+def agglomerate(dist: np.ndarray, method: str = "complete") -> Linkage:
+    """Build the merge tree for a precomputed distance matrix.
+
+    Parameters
+    ----------
+    dist:
+        Symmetric (n, n) matrix of pairwise distances.
+    method:
+        ``'complete'`` (RPM's choice), ``'single'`` or ``'average'``.
+
+    Returns
+    -------
+    Linkage
+        ``n - 1`` merges ordered by non-decreasing height (heights are
+        monotone for these three linkage methods).
+    """
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+    d = _check_distance_matrix(dist).copy()
+    n = d.shape[0]
+    if n == 1:
+        return Linkage(n=1, merges=[])
+
+    # active[i] maps matrix row i to its current cluster id; sizes track
+    # member counts for average linkage.
+    active = list(range(n))
+    sizes = [1] * n
+    np.fill_diagonal(d, np.inf)
+    merges: list[Merge] = []
+    next_id = n
+
+    for _ in range(n - 1):
+        flat = int(np.argmin(d))
+        i, j = divmod(flat, d.shape[0])
+        if i > j:
+            i, j = j, i
+        height = float(d[i, j])
+        size = sizes[i] + sizes[j]
+        merges.append(Merge(left=active[i], right=active[j], height=height, size=size))
+
+        # Lance-Williams update of row i to represent the merged cluster.
+        if method == "complete":
+            merged_row = np.maximum(d[i], d[j])
+        elif method == "single":
+            merged_row = np.minimum(d[i], d[j])
+        else:  # average
+            merged_row = (sizes[i] * d[i] + sizes[j] * d[j]) / size
+        d[i, :] = merged_row
+        d[:, i] = merged_row
+        d[i, i] = np.inf
+        active[i] = next_id
+        sizes[i] = size
+        next_id += 1
+
+        # Drop row/column j.
+        keep = np.ones(d.shape[0], dtype=bool)
+        keep[j] = False
+        d = d[np.ix_(keep, keep)]
+        del active[j]
+        del sizes[j]
+
+    return Linkage(n=n, merges=merges)
+
+
+def cut_k(linkage: Linkage, k: int) -> np.ndarray:
+    """Cut the merge tree into exactly *k* clusters.
+
+    Returns an array of ``n`` labels in ``0..k-1`` (labelled by order of
+    first appearance). ``k`` must satisfy ``1 <= k <= n``.
+    """
+    n = linkage.n
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    # Apply the first n - k merges with a union-find.
+    parent = list(range(n + len(linkage.merges)))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for t, merge in enumerate(linkage.merges[: n - k]):
+        new_id = n + t
+        parent[find(merge.left)] = new_id
+        parent[find(merge.right)] = new_id
+
+    labels = np.empty(n, dtype=int)
+    mapping: dict[int, int] = {}
+    for i in range(n):
+        root = find(i)
+        if root not in mapping:
+            mapping[root] = len(mapping)
+        labels[i] = mapping[root]
+    return labels

@@ -1,0 +1,186 @@
+"""Iterative bisection refinement of grammar-rule subsequence groups.
+
+Paper §3.2.2: a grammar rule's subsequences may mix more than one shape
+(SAX granularity is coarse). RPM therefore clusters them with
+complete-linkage, always trying a 2-way split first:
+
+* if one side of the split would hold less than ``min_split_fraction``
+  (30 %) of the group, the group is considered homogeneous and kept;
+* otherwise both halves are split recursively until no group can be
+  split further.
+
+Groups smaller than the support threshold ``γ · |class|`` are discarded
+by the caller; surviving groups are summarized by their **centroid**
+(the mean of the z-normalized, length-aligned members) or **medoid**
+(the member minimizing total distance to the rest) — the paper notes
+either works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..distance.euclidean import pairwise_euclidean
+from ..sax.znorm import znorm, znorm_rows
+from .linkage import agglomerate, cut_k
+
+__all__ = [
+    "RefinedCluster",
+    "align_subsequences",
+    "bisect_refine",
+    "centroid_of",
+    "medoid_of",
+]
+
+#: Minimum fraction of a group a bisection side must hold for the split
+#: to be accepted (paper §3.2.2).
+MIN_SPLIT_FRACTION = 0.3
+
+#: A split must also shrink the cluster: it is accepted only when the
+#: larger child's diameter (complete-linkage height) is at most this
+#: fraction of the parent's. Without this, a *homogeneous* group keeps
+#: bisecting into balanced halves forever — the paper's "stops when no
+#: group can be further split" implies such a homogeneity check.
+MAX_CHILD_DIAMETER_RATIO = 0.8
+
+
+@dataclass
+class RefinedCluster:
+    """A homogeneous group of subsequences from one grammar rule.
+
+    ``member_indices`` point back into the motif's occurrence list;
+    ``aligned`` holds the z-normalized, length-aligned member matrix the
+    prototype is computed from.
+    """
+
+    member_indices: list[int]
+    aligned: np.ndarray
+    pairwise: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def size(self) -> int:
+        """Number of members."""
+        return len(self.member_indices)
+
+    def within_distances(self) -> np.ndarray:
+        """Condensed (upper-triangle) pairwise member distances.
+
+        These feed the τ threshold computation of Algorithm 2.
+        """
+        if self.size < 2:
+            return np.empty(0)
+        iu = np.triu_indices(self.size, k=1)
+        return self.pairwise[iu]
+
+
+def align_subsequences(
+    subsequences: list[np.ndarray],
+    target_length: int | None = None,
+) -> np.ndarray:
+    """Z-normalize and resample variable-length subsequences to one length.
+
+    The target defaults to the *median* member length, which keeps the
+    prototype faithful to the dominant scale of the motif.
+    """
+    if not subsequences:
+        raise ValueError("need at least one subsequence")
+    lengths = [np.asarray(s).size for s in subsequences]
+    if min(lengths) < 2:
+        raise ValueError("subsequences must have at least 2 points")
+    if target_length is None:
+        target_length = int(np.median(lengths))
+    target_length = max(int(target_length), 2)
+    grid = np.linspace(0.0, 1.0, num=target_length)
+    rows = np.empty((len(subsequences), target_length))
+    for i, sub in enumerate(subsequences):
+        values = np.asarray(sub, dtype=float)
+        if values.size == target_length:
+            rows[i] = values
+        else:
+            rows[i] = np.interp(grid, np.linspace(0.0, 1.0, num=values.size), values)
+    return znorm_rows(rows)
+
+
+def bisect_refine(
+    aligned: np.ndarray,
+    *,
+    min_split_fraction: float = MIN_SPLIT_FRACTION,
+    max_child_diameter_ratio: float = MAX_CHILD_DIAMETER_RATIO,
+    min_group_size: int = 2,
+) -> list[RefinedCluster]:
+    """Recursively 2-way split an aligned member matrix (paper §3.2.2).
+
+    Parameters
+    ----------
+    aligned:
+        (n, L) matrix of z-normalized, length-aligned subsequences.
+    min_split_fraction:
+        A split is accepted only when both halves hold at least this
+        fraction of the parent group (the paper's 30 % rule).
+    max_child_diameter_ratio:
+        Homogeneity stop: the split is kept only when the larger child
+        diameter is at most this fraction of the parent diameter.
+    min_group_size:
+        Groups at or below this size are never split.
+
+    Returns
+    -------
+    list[RefinedCluster]
+        Leaves of the bisection tree, each with its member indices into
+        the original matrix and its own pairwise distance block.
+    """
+    aligned = np.asarray(aligned, dtype=float)
+    if aligned.ndim != 2:
+        raise ValueError(f"aligned must be 2-D, got {aligned.shape}")
+    n = aligned.shape[0]
+    full_pairwise = pairwise_euclidean(aligned)
+    out: list[RefinedCluster] = []
+
+    def emit(indices: np.ndarray, block: np.ndarray) -> None:
+        out.append(
+            RefinedCluster(
+                member_indices=indices.tolist(),
+                aligned=aligned[indices],
+                pairwise=block,
+            )
+        )
+
+    def recurse(indices: np.ndarray) -> None:
+        group_size = indices.size
+        block = full_pairwise[np.ix_(indices, indices)]
+        if group_size <= min_group_size:
+            emit(indices, block)
+            return
+        labels = cut_k(agglomerate(block, method="complete"), 2)
+        left = indices[labels == 0]
+        right = indices[labels == 1]
+        smaller = min(left.size, right.size)
+        if smaller < min_split_fraction * group_size:
+            emit(indices, block)
+            return
+        parent_diameter = block.max()
+        child_diameter = max(
+            full_pairwise[np.ix_(left, left)].max(),
+            full_pairwise[np.ix_(right, right)].max(),
+        )
+        if parent_diameter <= 0 or child_diameter > max_child_diameter_ratio * parent_diameter:
+            emit(indices, block)
+            return
+        recurse(left)
+        recurse(right)
+
+    recurse(np.arange(n))
+    return out
+
+
+def centroid_of(cluster: RefinedCluster) -> np.ndarray:
+    """Mean of the aligned members, re-z-normalized (the paper's default)."""
+    return znorm(cluster.aligned.mean(axis=0))
+
+
+def medoid_of(cluster: RefinedCluster) -> np.ndarray:
+    """The member minimizing the summed distance to the others."""
+    totals = cluster.pairwise.sum(axis=1)
+    return cluster.aligned[int(np.argmin(totals))].copy()

@@ -1,0 +1,159 @@
+"""Exploratory utilities around the mined patterns.
+
+The paper emphasizes that RPM's class-specific patterns have value
+beyond classification ("excellent exploratory characteristics", §1,
+Figure 1): they localize the class-defining structure. This module
+turns a fitted :class:`~repro.core.rpm.RPMClassifier` into exactly that
+kind of report:
+
+* :func:`locate_pattern` — where a pattern best matches a series;
+* :func:`pattern_coverage` — how consistently each pattern appears in
+  its own class versus the others (the discrimination margin);
+* :func:`explain_prediction` — per-series: which patterns drove the
+  distance vector that the classifier saw;
+* :func:`class_profile` — a compact, printable per-class summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..distance.best_match import batch_best_distances, best_match
+from .patterns import RepresentativePattern
+
+__all__ = [
+    "PatternLocation",
+    "PatternCoverage",
+    "locate_pattern",
+    "pattern_coverage",
+    "explain_prediction",
+    "class_profile",
+]
+
+
+@dataclass(frozen=True)
+class PatternLocation:
+    """Best alignment of one pattern on one series."""
+
+    pattern_index: int
+    label: object
+    position: int
+    length: int
+    distance: float
+
+
+@dataclass(frozen=True)
+class PatternCoverage:
+    """How a pattern separates its own class from the rest.
+
+    ``own_mean`` / ``other_mean`` are the average closest-match
+    distances within / outside the pattern's class; ``margin`` is their
+    difference (positive = the pattern sits closer to its own class,
+    i.e. it behaves like a class-specific motif).
+    """
+
+    pattern_index: int
+    label: object
+    own_mean: float
+    other_mean: float
+
+    @property
+    def margin(self) -> float:
+        """other_mean - own_mean; positive = discriminative."""
+        return self.other_mean - self.own_mean
+
+
+def locate_pattern(
+    pattern: RepresentativePattern | np.ndarray,
+    series: np.ndarray,
+) -> PatternLocation:
+    """Best-match alignment of *pattern* on *series*."""
+    values = getattr(pattern, "values", pattern)
+    label = getattr(pattern, "label", None)
+    index = getattr(pattern, "feature_index", -1)
+    match = best_match(np.asarray(values, dtype=float), np.asarray(series, dtype=float))
+    return PatternLocation(
+        pattern_index=index,
+        label=label,
+        position=match.position,
+        length=match.length,
+        distance=match.distance,
+    )
+
+
+def pattern_coverage(
+    patterns: list[RepresentativePattern],
+    X: np.ndarray,
+    y: np.ndarray,
+) -> list[PatternCoverage]:
+    """Own-class vs other-class mean distances for every pattern."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y disagree on the number of instances")
+    out = []
+    for k, pattern in enumerate(patterns):
+        distances = batch_best_distances(pattern.values, X)
+        own = distances[y == pattern.label]
+        other = distances[y != pattern.label]
+        out.append(
+            PatternCoverage(
+                pattern_index=k,
+                label=pattern.label,
+                own_mean=float(own.mean()) if own.size else float("nan"),
+                other_mean=float(other.mean()) if other.size else float("nan"),
+            )
+        )
+    return out
+
+
+def explain_prediction(
+    clf,
+    series: np.ndarray,
+) -> list[PatternLocation]:
+    """Alignments of every representative pattern on one series.
+
+    Sorted by distance, so the first entries are the patterns whose
+    presence most strongly shaped the classifier's feature vector.
+    """
+    if not getattr(clf, "patterns_", None):
+        raise RuntimeError("classifier has no patterns; call fit() first")
+    series = np.asarray(series, dtype=float)
+    locations = []
+    for k, pattern in enumerate(clf.patterns_):
+        match = best_match(pattern.values, series)
+        locations.append(
+            PatternLocation(
+                pattern_index=k,
+                label=pattern.label,
+                position=match.position,
+                length=match.length,
+                distance=match.distance,
+            )
+        )
+    return sorted(locations, key=lambda loc: loc.distance)
+
+
+def class_profile(clf, X: np.ndarray, y: np.ndarray) -> str:
+    """Printable per-class pattern summary of a fitted classifier."""
+    if not getattr(clf, "patterns_", None):
+        raise RuntimeError("classifier has no patterns; call fit() first")
+    coverage = pattern_coverage(clf.patterns_, X, y)
+    lines = []
+    labels = sorted({p.label for p in clf.patterns_}, key=str)
+    for label in labels:
+        members = [
+            (p, c)
+            for p, c in zip(clf.patterns_, coverage)
+            if p.label == label
+        ]
+        lines.append(f"class {label!r}: {len(members)} pattern(s)")
+        for pattern, cov in members:
+            lines.append(
+                f"  len={pattern.length:<4d} freq={pattern.candidate.frequency:<3d} "
+                f"own-dist={cov.own_mean:.2f} other-dist={cov.other_mean:.2f} "
+                f"margin={cov.margin:+.2f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Save / load fitted RPM models.
+
+A fitted :class:`~repro.core.rpm.RPMClassifier` is persisted as a
+single ``.npz`` archive holding the representative patterns, their
+metadata, the per-class SAX parameters, and the training feature matrix
+plus labels (the downstream classifier is refit on load — SVM training
+on the small transformed matrix is milliseconds, and it keeps the
+archive format classifier-agnostic and stable).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..sax.discretize import SaxParams
+from .patterns import PatternCandidate, RepresentativePattern
+from .rpm import RPMClassifier
+from .selection import SelectionResult
+
+__all__ = ["save_model", "load_model", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def save_model(clf: RPMClassifier, path: str | Path) -> Path:
+    """Serialize a fitted classifier to ``path`` (``.npz``)."""
+    if not clf.patterns_ or clf.selection_ is None:
+        raise RuntimeError("cannot save an unfitted RPMClassifier")
+    path = Path(path)
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "gamma": clf.gamma,
+        "tau_percentile": clf.tau_percentile,
+        "prototype": clf.prototype,
+        "support_mode": clf.support_mode,
+        "rotation_invariant": clf.rotation_invariant,
+        "params_by_class": {
+            json.dumps(_key(label)): params.as_tuple()
+            for label, params in clf.params_by_class_.items()
+        },
+        "patterns": [
+            {
+                "label": _key(p.label),
+                "feature_index": p.feature_index,
+                "frequency": p.candidate.frequency,
+                "support": p.candidate.support,
+                "rule_id": p.candidate.rule_id,
+                "words": list(p.candidate.words),
+                "sax_params": p.candidate.sax_params.as_tuple(),
+            }
+            for p in clf.patterns_
+        ],
+        "tau": clf.selection_.tau,
+    }
+    arrays = {
+        "meta_json": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        "train_features": clf.selection_.train_features,
+        "train_labels": np.asarray(clf._train_labels),
+    }
+    for i, pattern in enumerate(clf.patterns_):
+        arrays[f"pattern_{i}"] = pattern.values
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_model(path: str | Path) -> RPMClassifier:
+    """Reconstruct a fitted classifier saved by :func:`save_model`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(bytes(archive["meta_json"]).decode())
+        if meta.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported model format {meta.get('format_version')!r}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        train_features = archive["train_features"]
+        train_labels = archive["train_labels"]
+        pattern_values = [
+            archive[f"pattern_{i}"] for i in range(len(meta["patterns"]))
+        ]
+
+    clf = RPMClassifier(
+        gamma=meta["gamma"],
+        tau_percentile=meta["tau_percentile"],
+        prototype=meta["prototype"],
+        support_mode=meta["support_mode"],
+        rotation_invariant=meta["rotation_invariant"],
+    )
+    clf.params_by_class_ = {
+        _unkey(json.loads(k)): SaxParams(*v)
+        for k, v in meta["params_by_class"].items()
+    }
+    patterns = []
+    for values, info in zip(pattern_values, meta["patterns"]):
+        label = _unkey(info["label"])
+        candidate = PatternCandidate(
+            values=values,
+            label=label,
+            frequency=info["frequency"],
+            support=info["support"],
+            rule_id=info["rule_id"],
+            words=tuple(info["words"]),
+            sax_params=SaxParams(*info["sax_params"]),
+        )
+        patterns.append(
+            RepresentativePattern(
+                values=values,
+                label=label,
+                feature_index=info["feature_index"],
+                candidate=candidate,
+            )
+        )
+    clf.patterns_ = patterns
+    clf.selection_ = SelectionResult(
+        patterns=patterns,
+        tau=meta["tau"],
+        n_candidates_in=len(patterns),
+        n_after_dedup=len(patterns),
+        train_features=train_features,
+    )
+    clf.classes_ = np.unique(train_labels)
+    clf._train_labels = train_labels
+    clf.classifier_ = clf.classifier_factory()
+    clf.classifier_.fit(train_features, train_labels)
+    return clf
+
+
+def _key(label):
+    """JSON-safe form of a class label."""
+    if isinstance(label, (np.integer,)):
+        return int(label)
+    if isinstance(label, (np.floating,)):
+        return float(label)
+    return label
+
+
+def _unkey(value):
+    return value

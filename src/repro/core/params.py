@@ -1,0 +1,256 @@
+"""Algorithm 3 — SAX parameter selection (grid search and DIRECT).
+
+Time series classes differ in character, so RPM learns one SAX
+parameter triple (sliding window, PAA size, alphabet size) *per class*
+(§4). A candidate triple is scored by:
+
+1. splitting the training data into train/validation partitions
+   ``n_splits`` times (the paper uses 5);
+2. mining patterns on the train partition (Algorithms 1 + 2);
+3. transforming the validation partition and measuring the per-class
+   F-measure of a five-fold cross-validated classifier on it.
+
+The expensive part — mining + scoring — depends only on the parameter
+triple, not on which class we are optimizing, so a shared evaluator
+caches triple → per-class-F1 and both search strategies (brute-force
+grid with γ-pruning, and DIRECT with integer rounding) read from it.
+The evaluator's unique-evaluation count is the ``R`` of §5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ml.crossval import kfold_predictions, stratified_split
+from ..ml.metrics import precision_recall_f1
+from ..ml.svm import SVC
+from ..opt.direct import direct_minimize
+from ..opt.grid import PRUNED_VALUE, grid_search
+from ..sax.discretize import SaxParams
+from .candidates import find_candidates
+from .selection import find_distinct
+from .transform import pattern_features
+
+__all__ = ["ParamRanges", "ParamSelector", "default_ranges"]
+
+
+@dataclass(frozen=True)
+class ParamRanges:
+    """Inclusive integer bounds for the three SAX parameters."""
+
+    window: tuple[int, int]
+    paa: tuple[int, int]
+    alphabet: tuple[int, int]
+
+    def clip(self, window: int, paa: int, alphabet: int) -> tuple[int, int, int]:
+        """Clamp a raw integer triple into the legal parameter box."""
+        window = int(np.clip(window, *self.window))
+        paa = int(np.clip(paa, *self.paa))
+        paa = min(paa, window)
+        alphabet = int(np.clip(alphabet, *self.alphabet))
+        return window, paa, alphabet
+
+    def grid_axes(self, n_window: int = 6, n_paa: int = 4, n_alpha: int = 3) -> list[list[int]]:
+        """Evenly spaced integer axes for the brute-force search."""
+
+        def axis(bounds: tuple[int, int], count: int) -> list[int]:
+            lo, hi = bounds
+            return sorted({int(round(v)) for v in np.linspace(lo, hi, count)})
+
+        return [axis(self.window, n_window), axis(self.paa, n_paa), axis(self.alphabet, n_alpha)]
+
+
+def default_ranges(series_length: int) -> ParamRanges:
+    """Sensible UCR-scale bounds: window 10-60 % of the series, PAA up
+    to 12 segments, alphabet 3-9 (granularities past these add little,
+    per the SAX literature)."""
+    lo_w = max(8, int(round(0.1 * series_length)))
+    hi_w = max(lo_w + 2, int(round(0.6 * series_length)))
+    return ParamRanges(window=(lo_w, hi_w), paa=(3, 12), alphabet=(3, 9))
+
+
+@dataclass
+class _Evaluation:
+    f1_by_class: dict
+    pruned: bool = False
+
+
+class ParamSelector:
+    """Shared, cached evaluator + the two search strategies of §4."""
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        ranges: ParamRanges | None = None,
+        gamma: float = 0.2,
+        tau_percentile: float = 30.0,
+        prototype: str = "centroid",
+        support_mode: str = "instances",
+        n_splits: int = 3,
+        validation_fraction: float = 0.3,
+        cv_folds: int = 5,
+        classifier_factory=None,
+        seed: int = 0,
+    ) -> None:
+        self.X = np.asarray(X, dtype=float)
+        self.y = np.asarray(y)
+        self.ranges = ranges or default_ranges(self.X.shape[1])
+        self.gamma = gamma
+        self.tau_percentile = tau_percentile
+        self.prototype = prototype
+        self.support_mode = support_mode
+        self.n_splits = n_splits
+        self.validation_fraction = validation_fraction
+        self.cv_folds = cv_folds
+        self.classifier_factory = classifier_factory or (lambda: SVC(kernel="rbf", C=1.0))
+        self.seed = seed
+        self.classes_ = np.unique(self.y)
+        self._cache: dict[tuple[int, int, int], _Evaluation] = {}
+        # Fixed splits shared by every evaluation keeps the comparison fair.
+        self._splits = [
+            stratified_split(self.y, validation_fraction, seed=seed + 1000 * s)
+            for s in range(n_splits)
+        ]
+
+    # -- the cached objective --------------------------------------------------
+
+    @property
+    def n_evaluations(self) -> int:
+        """Unique parameter triples evaluated — the paper's R (§5.3)."""
+        return len(self._cache)
+
+    def evaluate(self, window: int, paa: int, alphabet: int) -> _Evaluation:
+        """Score one integer parameter triple (cached)."""
+        key = self.ranges.clip(window, paa, alphabet)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        evaluation = self._evaluate_uncached(SaxParams(*key))
+        self._cache[key] = evaluation
+        return evaluation
+
+    def _evaluate_uncached(self, params: SaxParams) -> _Evaluation:
+        sums = {label: 0.0 for label in self.classes_}
+        useful_splits = 0
+        for train_idx, val_idx in self._splits:
+            X_tr, y_tr = self.X[train_idx], self.y[train_idx]
+            X_val, y_val = self.X[val_idx], self.y[val_idx]
+            if params.window_size > self.X.shape[1]:
+                continue
+            params_by_class = {label: params for label in self.classes_}
+            try:
+                candidates = find_candidates(
+                    X_tr,
+                    y_tr,
+                    params_by_class,
+                    gamma=self.gamma,
+                    prototype=self.prototype,
+                    support_mode=self.support_mode,
+                )
+            except ValueError:
+                continue
+            if not candidates:
+                # γ-pruning (paper §4.1): nothing frequent enough.
+                continue
+            selection = find_distinct(
+                X_tr, y_tr, candidates, tau_percentile=self.tau_percentile
+            )
+            X_val_t = pattern_features(X_val, selection.patterns)
+
+            def fit_predict(Xa, ya, Xb):
+                if np.unique(ya).size < 2:
+                    return np.full(Xb.shape[0], ya[0])
+                return self.classifier_factory().fit(Xa, ya).predict(Xb)
+
+            folds = min(self.cv_folds, X_val_t.shape[0])
+            if folds < 2:
+                continue
+            preds = kfold_predictions(
+                fit_predict, X_val_t, y_val, n_folds=folds, seed=self.seed
+            )
+            scores = precision_recall_f1(y_val, preds, labels=self.classes_)
+            for label, f1 in zip(scores.labels, scores.f1):
+                sums[label] += float(f1)
+            useful_splits += 1
+        if useful_splits == 0:
+            return _Evaluation(f1_by_class={}, pruned=True)
+        return _Evaluation(
+            f1_by_class={label: sums[label] / useful_splits for label in self.classes_}
+        )
+
+    # -- search strategies --------------------------------------------------------
+
+    def select_direct(
+        self,
+        *,
+        max_evaluations: int = 60,
+        max_iterations: int = 25,
+    ) -> dict:
+        """Per-class best SAX parameters via DIRECT (§4.2).
+
+        One DIRECT run per class; the shared cache means a triple
+        visited while optimizing class A is free for class B.
+        """
+        bounds = [
+            (float(self.ranges.window[0]), float(self.ranges.window[1])),
+            (float(self.ranges.paa[0]), float(self.ranges.paa[1])),
+            (float(self.ranges.alphabet[0]), float(self.ranges.alphabet[1])),
+        ]
+        best: dict = {}
+        for label in self.classes_:
+
+            def objective(x: np.ndarray, _label=label) -> float:
+                w, p, a = (int(round(v)) for v in x)
+                evaluation = self.evaluate(w, p, a)
+                if evaluation.pruned:
+                    return PRUNED_VALUE
+                return 1.0 - evaluation.f1_by_class.get(_label, 0.0)
+
+            result = direct_minimize(
+                objective,
+                bounds,
+                max_evaluations=max_evaluations,
+                max_iterations=max_iterations,
+            )
+            key = self.ranges.clip(*(int(round(v)) for v in result.x))
+            best[label] = SaxParams(*self._best_key_for(label, fallback=key))
+        return best
+
+    def select_grid(self, axes: list[list[int]] | None = None) -> dict:
+        """Per-class best SAX parameters via exhaustive grid (§4.1)."""
+        axes = axes or self.ranges.grid_axes()
+
+        def objective(key: tuple[int, ...]) -> float:
+            evaluation = self.evaluate(*key)
+            if evaluation.pruned:
+                return PRUNED_VALUE
+            # Grid minimizes the mean error; per-class readout follows.
+            values = list(evaluation.f1_by_class.values())
+            return 1.0 - float(np.mean(values))
+
+        grid_search(objective, axes)
+        return {
+            label: SaxParams(*self._best_key_for(label, fallback=None))
+            for label in self.classes_
+        }
+
+    def _best_key_for(self, label, fallback) -> tuple[int, int, int]:
+        """The cached triple with the highest F1 for *label*."""
+        best_key = None
+        best_f1 = -1.0
+        for key, evaluation in self._cache.items():
+            if evaluation.pruned:
+                continue
+            f1 = evaluation.f1_by_class.get(label, 0.0)
+            if f1 > best_f1:
+                best_f1 = f1
+                best_key = key
+        if best_key is None:
+            best_key = fallback or self.ranges.clip(
+                (self.ranges.window[0] + self.ranges.window[1]) // 2, 6, 5
+            )
+        return best_key

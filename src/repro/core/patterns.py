@@ -1,0 +1,74 @@
+"""Pattern data types for the RPM pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sax.discretize import SaxParams
+
+__all__ = ["PatternCandidate", "RepresentativePattern"]
+
+
+@dataclass
+class PatternCandidate:
+    """A class-specific motif prototype emitted by Algorithm 1.
+
+    One candidate is the centroid (or medoid) of a refined cluster of
+    grammar-rule subsequences. ``frequency`` counts the cluster's raw
+    occurrences in the class's concatenated training series — it is the
+    tie-breaker Algorithm 2 uses when de-duplicating similar
+    candidates — while ``support`` counts distinct training instances.
+    """
+
+    values: np.ndarray
+    label: object
+    frequency: int
+    support: int
+    rule_id: int
+    words: tuple[str, ...]
+    sax_params: SaxParams
+    within_distances: np.ndarray = field(repr=False, default_factory=lambda: np.empty(0))
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.ndim != 1 or self.values.size < 2:
+            raise ValueError("pattern values must be a 1-D array of >= 2 points")
+
+    @property
+    def length(self) -> int:
+        """Number of points."""
+        return int(self.values.size)
+
+
+@dataclass
+class RepresentativePattern:
+    """A pattern that survived Algorithm 2's discriminative selection.
+
+    The classifier's feature ``feature_index`` is the closest-match
+    distance of a series to ``values``. ``label`` records which class's
+    mining produced it; the pattern's discriminative power is of course
+    global (features are shared by all classes in the SVM).
+    """
+
+    values: np.ndarray
+    label: object
+    feature_index: int
+    candidate: PatternCandidate
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+
+    @property
+    def length(self) -> int:
+        """Number of points."""
+        return int(self.values.size)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"class={self.label!r} len={self.length} "
+            f"freq={self.candidate.frequency} support={self.candidate.support} "
+            f"sax={self.candidate.sax_params.as_tuple()}"
+        )

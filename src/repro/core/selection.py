@@ -1,0 +1,166 @@
+"""Algorithm 2 — FindDistinct: keep only discriminative patterns.
+
+Three stages, exactly as in the paper:
+
+1. **τ threshold** — the 30th percentile (configurable) of the pairwise
+   subsequence distances *within* the refined clusters of Algorithm 1.
+2. **Similarity pruning** — scan the candidates; whenever a new
+   candidate lies within τ (closest-match distance, so different
+   lengths are fine) of an already-kept one, keep the more frequent of
+   the two.
+3. **Feature selection** — transform the training set into candidate-
+   distance features and run CFS; the selected features are the
+   representative patterns (their number is decided by CFS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..distance.best_match import batch_best_distances, best_match
+from ..ml.cfs import cfs_select
+from .patterns import PatternCandidate, RepresentativePattern
+from .transform import pattern_features
+
+__all__ = ["SelectionResult", "compute_tau", "remove_similar", "find_distinct"]
+
+DEFAULT_TAU_PERCENTILE = 30.0
+
+
+@dataclass
+class SelectionResult:
+    """Everything Algorithm 2 produced (kept for inspection/benches)."""
+
+    patterns: list[RepresentativePattern]
+    tau: float
+    n_candidates_in: int
+    n_after_dedup: int
+    train_features: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    cfs_merit: float = 0.0
+
+
+def compute_tau(
+    candidates: list[PatternCandidate],
+    percentile: float = DEFAULT_TAU_PERCENTILE,
+) -> float:
+    """The similarity threshold τ (paper §3.2.3).
+
+    Pools the within-cluster pairwise distances recorded on every
+    candidate and takes the requested percentile. Falls back to 0 (no
+    pruning) when no cluster had two members.
+    """
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {percentile}")
+    pools = [c.within_distances for c in candidates if c.within_distances.size]
+    if not pools:
+        return 0.0
+    return float(np.percentile(np.concatenate(pools), percentile))
+
+
+def remove_similar(
+    candidates: list[PatternCandidate],
+    tau: float,
+) -> list[PatternCandidate]:
+    """Greedy de-duplication (Algorithm 2, lines 5-18).
+
+    Candidates are compared by the closest-match distance (the shorter
+    pattern slides over the longer); within τ the more frequent
+    candidate wins. Scanning in descending frequency makes the result
+    order-independent: a kept candidate can never lose to a later one.
+
+    Kept candidates are bucketed by length so each comparison against a
+    bucket of longer-or-equal patterns is one batched closest-match
+    call — candidate lengths cluster tightly around the SAX window, so
+    there are few buckets.
+    """
+    ordered = sorted(candidates, key=lambda c: c.frequency, reverse=True)
+    kept: list[PatternCandidate] = []
+    values_by_length: dict[int, list[np.ndarray]] = {}
+
+    def is_similar(candidate: PatternCandidate) -> bool:
+        for length, values in values_by_length.items():
+            if candidate.length <= length:
+                dists = batch_best_distances(candidate.values, np.stack(values))
+                if bool((dists < tau).any()):
+                    return True
+            else:
+                for existing in values:
+                    if best_match(existing, candidate.values).distance < tau:
+                        return True
+        return False
+
+    for candidate in ordered:
+        if not is_similar(candidate):
+            kept.append(candidate)
+            values_by_length.setdefault(candidate.length, []).append(candidate.values)
+    return kept
+
+
+#: Cap on the candidate pool entering the pairwise de-duplication. The
+#: paper's pool is O(#motifs) and small; tiny validation splits in the
+#: parameter search can lower the γ threshold enough to blow the pool
+#: up, so we keep only the most frequent candidates per class beyond
+#: this limit (frequency ordering matches Algorithm 2's own tie-break).
+DEFAULT_MAX_CANDIDATES = 120
+
+
+def _cap_candidates(
+    candidates: list[PatternCandidate], max_candidates: int
+) -> list[PatternCandidate]:
+    if len(candidates) <= max_candidates:
+        return candidates
+    labels = {c.label for c in candidates}
+    per_class = max(1, max_candidates // len(labels))
+    capped: list[PatternCandidate] = []
+    for label in labels:
+        members = [c for c in candidates if c.label == label]
+        members.sort(key=lambda c: c.frequency, reverse=True)
+        capped.extend(members[:per_class])
+    return capped
+
+
+def find_distinct(
+    X: np.ndarray,
+    y: np.ndarray,
+    candidates: list[PatternCandidate],
+    *,
+    tau_percentile: float = DEFAULT_TAU_PERCENTILE,
+    rotation_invariant: bool = False,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+) -> SelectionResult:
+    """Algorithm 2 end to end.
+
+    Returns the representative patterns plus the transformed training
+    matrix restricted to the selected features (handy for fitting the
+    downstream classifier without recomputing distances).
+    """
+    if not candidates:
+        raise ValueError("no candidates to select from")
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+
+    tau = compute_tau(candidates, tau_percentile)
+    capped = _cap_candidates(candidates, max_candidates)
+    deduped = remove_similar(capped, tau)
+
+    features = pattern_features(X, deduped, rotation_invariant=rotation_invariant)
+    result = cfs_select(features, y)
+    patterns = [
+        RepresentativePattern(
+            values=deduped[idx].values,
+            label=deduped[idx].label,
+            feature_index=pos,
+            candidate=deduped[idx],
+        )
+        for pos, idx in enumerate(result.selected)
+    ]
+    return SelectionResult(
+        patterns=patterns,
+        tau=tau,
+        n_candidates_in=len(candidates),
+        n_after_dedup=len(deduped),
+        train_features=features[:, result.selected],
+        cfs_merit=result.merit,
+    )

@@ -1,0 +1,75 @@
+"""The pattern-distance feature transform.
+
+A time series ``T`` becomes the vector of closest-match distances
+between ``T`` and each representative pattern (paper §2.1 "Time Series
+Transformation" and §3.1). The rotation-invariant variant additionally
+matches against the series cut at its midpoint with halves swapped and
+keeps the minimum (§6.1), so a pattern broken by a rotation is still
+found whole in one of the two copies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..data.rotate import halfway_rotation
+from ..distance.best_match import batch_best_distances, best_match
+
+__all__ = ["pattern_features", "pattern_feature_row"]
+
+
+def _pattern_values(pattern) -> np.ndarray:
+    # Accept raw arrays, PatternCandidate and RepresentativePattern.
+    values = getattr(pattern, "values", pattern)
+    return np.asarray(values, dtype=float)
+
+
+def pattern_feature_row(
+    series: np.ndarray,
+    patterns: Sequence,
+    *,
+    rotation_invariant: bool = False,
+) -> np.ndarray:
+    """Closest-match distances of one series to every pattern."""
+    series = np.asarray(series, dtype=float)
+    rotated = halfway_rotation(series) if rotation_invariant else None
+    row = np.empty(len(patterns))
+    for k, pattern in enumerate(patterns):
+        values = _pattern_values(pattern)
+        dist = best_match(values, series).distance
+        if rotated is not None:
+            dist = min(dist, best_match(values, rotated).distance)
+        row[k] = dist
+    return row
+
+
+def pattern_features(
+    X: np.ndarray,
+    patterns: Sequence,
+    *,
+    rotation_invariant: bool = False,
+) -> np.ndarray:
+    """Transform ``(n, m)`` series into ``(n, K)`` pattern distances.
+
+    Computed one pattern at a time with the batched closest-match
+    kernel, which is the dominant cost of both training (Algorithm 2's
+    transform) and classification.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if not patterns:
+        raise ValueError("patterns must be non-empty")
+    X_rot = None
+    if rotation_invariant:
+        X_rot = np.column_stack([X[:, X.shape[1] // 2 :], X[:, : X.shape[1] // 2]])
+    out = np.empty((X.shape[0], len(patterns)))
+    for k, pattern in enumerate(patterns):
+        values = _pattern_values(pattern)
+        dist = batch_best_distances(values, X)
+        if X_rot is not None:
+            dist = np.minimum(dist, batch_best_distances(values, X_rot))
+        out[:, k] = dist
+    return out

@@ -1,0 +1,66 @@
+"""Datasets: UCR loader, synthetic UCR-like generators, rotation tools."""
+
+from .base import Dataset
+from .ecg import abp_pulse, ecg200_sim, ecg_five_days_sim, heartbeat, medical_alarm_abp
+from .registry import EXTENDED_SUITE, GENERATORS, ROTATION_SUITE, SUITE, load, load_suite
+from .rotate import halfway_rotation, rotate_rows, rotate_series, rotate_test_split
+from .spectra import coffee_sim, gaussian_band, olive_oil_sim
+from .synthetic import (
+    cbf,
+    cricket_sim,
+    face_four_sim,
+    gun_point_sim,
+    italy_power_sim,
+    lightning_sim,
+    make_dataset,
+    mote_strain_sim,
+    osu_leaf_sim,
+    random_warp,
+    smooth,
+    swedish_leaf_sim,
+    synthetic_control,
+    trace_sim,
+    two_patterns,
+    wafer_sim,
+)
+from .ucr import available_ucr_datasets, load_ucr_dataset, load_ucr_file
+
+__all__ = [
+    "Dataset",
+    "EXTENDED_SUITE",
+    "GENERATORS",
+    "ROTATION_SUITE",
+    "SUITE",
+    "abp_pulse",
+    "available_ucr_datasets",
+    "cbf",
+    "coffee_sim",
+    "cricket_sim",
+    "ecg200_sim",
+    "ecg_five_days_sim",
+    "face_four_sim",
+    "gaussian_band",
+    "gun_point_sim",
+    "halfway_rotation",
+    "heartbeat",
+    "italy_power_sim",
+    "lightning_sim",
+    "load",
+    "load_suite",
+    "load_ucr_dataset",
+    "load_ucr_file",
+    "make_dataset",
+    "medical_alarm_abp",
+    "mote_strain_sim",
+    "osu_leaf_sim",
+    "random_warp",
+    "rotate_rows",
+    "rotate_series",
+    "rotate_test_split",
+    "smooth",
+    "swedish_leaf_sim",
+    "synthetic_control",
+    "trace_sim",
+    "two_patterns",
+    "wafer_sim",
+]

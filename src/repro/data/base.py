@@ -1,0 +1,75 @@
+"""Dataset container shared by loaders, generators and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """A labelled train/test split of equal-length time series.
+
+    Matches the UCR archive convention the paper evaluates on: every
+    series in a dataset has the same length, labels are small integers,
+    and the train/test split is fixed.
+    """
+
+    name: str
+    X_train: np.ndarray
+    y_train: np.ndarray
+    X_test: np.ndarray
+    y_test: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.X_train = np.asarray(self.X_train, dtype=float)
+        self.X_test = np.asarray(self.X_test, dtype=float)
+        self.y_train = np.asarray(self.y_train)
+        self.y_test = np.asarray(self.y_test)
+        if self.X_train.ndim != 2 or self.X_test.ndim != 2:
+            raise ValueError(f"{self.name}: series matrices must be 2-D")
+        if self.X_train.shape[1] != self.X_test.shape[1]:
+            raise ValueError(f"{self.name}: train/test series lengths differ")
+        if self.X_train.shape[0] != self.y_train.shape[0]:
+            raise ValueError(f"{self.name}: X_train/y_train size mismatch")
+        if self.X_test.shape[0] != self.y_test.shape[0]:
+            raise ValueError(f"{self.name}: X_test/y_test size mismatch")
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct class labels across both splits."""
+        return int(np.unique(np.concatenate([self.y_train, self.y_test])).size)
+
+    @property
+    def series_length(self) -> int:
+        """Length of every series in the dataset."""
+        return int(self.X_train.shape[1])
+
+    @property
+    def n_train(self) -> int:
+        """Number of training instances."""
+        return int(self.X_train.shape[0])
+
+    @property
+    def n_test(self) -> int:
+        """Number of test instances."""
+        return int(self.X_test.shape[0])
+
+    def classes(self) -> np.ndarray:
+        """Sorted distinct class labels."""
+        return np.unique(np.concatenate([self.y_train, self.y_test]))
+
+    def class_instances(self, label) -> np.ndarray:
+        """Training instances of one class (used by candidate mining)."""
+        return self.X_train[self.y_train == label]
+
+    def summary_row(self) -> str:
+        """One-line dataset summary for listings."""
+        return (
+            f"{self.name:<24s} classes={self.n_classes:<3d} "
+            f"train={self.n_train:<4d} test={self.n_test:<4d} "
+            f"length={self.series_length}"
+        )

@@ -1,0 +1,140 @@
+"""Noise and distortion injection.
+
+The paper claims RPM "will provide high generalization performance
+under noise and/or translation/rotation" (§1) and demonstrates it on
+noisy ICU data (§6.2). These utilities produce controlled corruption
+of a dataset's *test* split — rotation's siblings — so the robustness
+claim can be swept quantitatively (``benchmarks/bench_robustness.py``):
+
+* ``add_gaussian_noise`` — sensor noise of growing amplitude;
+* ``add_spikes`` — impulsive artifacts (electrode pops, dropouts);
+* ``add_baseline_wander`` — slow drift (respiration, temperature);
+* ``add_dropout`` — flat-lined segments (transmission loss);
+* ``corrupt_test_split`` — apply any of them to a Dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .base import Dataset
+
+__all__ = [
+    "add_gaussian_noise",
+    "add_spikes",
+    "add_baseline_wander",
+    "add_dropout",
+    "corrupt_test_split",
+    "CORRUPTIONS",
+]
+
+
+def _rng(seed) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _check(X: np.ndarray) -> np.ndarray:
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("corruptions expect a 2-D (n, m) matrix")
+    return X
+
+
+def add_gaussian_noise(X: np.ndarray, level: float = 0.2, seed=0) -> np.ndarray:
+    """Additive white noise scaled to *level* × each row's std."""
+    X = _check(X)
+    rng = _rng(seed)
+    scales = X.std(axis=1, keepdims=True)
+    scales[scales < 1e-12] = 1.0
+    return X + rng.standard_normal(X.shape) * scales * level
+
+
+def add_spikes(
+    X: np.ndarray,
+    n_spikes: int = 3,
+    magnitude: float = 4.0,
+    seed=0,
+) -> np.ndarray:
+    """Impulsive artifacts: *n_spikes* single-point outliers per row."""
+    X = _check(X)
+    rng = _rng(seed)
+    out = X.copy()
+    n, m = X.shape
+    scales = X.std(axis=1)
+    scales[scales < 1e-12] = 1.0
+    for i in range(n):
+        positions = rng.choice(m, size=min(n_spikes, m), replace=False)
+        signs = rng.choice([-1.0, 1.0], size=positions.size)
+        out[i, positions] += signs * magnitude * scales[i]
+    return out
+
+
+def add_baseline_wander(
+    X: np.ndarray,
+    amplitude: float = 1.0,
+    cycles: float = 1.5,
+    seed=0,
+) -> np.ndarray:
+    """Slow sinusoidal drift with a random phase per row."""
+    X = _check(X)
+    rng = _rng(seed)
+    n, m = X.shape
+    t = np.linspace(0.0, 2 * np.pi * cycles, m)
+    phases = rng.uniform(0.0, 2 * np.pi, size=(n, 1))
+    scales = X.std(axis=1, keepdims=True)
+    scales[scales < 1e-12] = 1.0
+    return X + amplitude * scales * np.sin(t[None, :] + phases)
+
+
+def add_dropout(
+    X: np.ndarray,
+    fraction: float = 0.1,
+    seed=0,
+) -> np.ndarray:
+    """Replace one contiguous segment (*fraction* of the length) per row
+    with its last valid value (a flat-lined sensor)."""
+    X = _check(X)
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    rng = _rng(seed)
+    out = X.copy()
+    n, m = X.shape
+    width = int(round(fraction * m))
+    if width == 0:
+        return out
+    for i in range(n):
+        start = int(rng.integers(0, m - width + 1))
+        hold = out[i, start - 1] if start > 0 else out[i, start]
+        out[i, start : start + width] = hold
+    return out
+
+
+#: Named corruption sweep used by the robustness bench.
+CORRUPTIONS: dict[str, Callable[[np.ndarray, int], np.ndarray]] = {
+    "noise-0.2": lambda X, seed: add_gaussian_noise(X, 0.2, seed),
+    "noise-0.5": lambda X, seed: add_gaussian_noise(X, 0.5, seed),
+    "spikes": lambda X, seed: add_spikes(X, 3, 4.0, seed),
+    "wander": lambda X, seed: add_baseline_wander(X, 1.0, 1.5, seed),
+    "dropout-10%": lambda X, seed: add_dropout(X, 0.10, seed),
+}
+
+
+def corrupt_test_split(dataset: Dataset, corruption: str, seed: int = 0) -> Dataset:
+    """A copy of *dataset* with the named corruption on the test split."""
+    try:
+        fn = CORRUPTIONS[corruption]
+    except KeyError:
+        raise KeyError(
+            f"unknown corruption {corruption!r}; available: {sorted(CORRUPTIONS)}"
+        ) from None
+    return Dataset(
+        name=f"{dataset.name}+{corruption}",
+        X_train=dataset.X_train.copy(),
+        y_train=dataset.y_train.copy(),
+        X_test=fn(dataset.X_test, seed),
+        y_test=dataset.y_test.copy(),
+    )

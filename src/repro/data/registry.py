@@ -1,0 +1,151 @@
+"""Named dataset registry used by examples, tests and benchmarks.
+
+``load(name)`` returns the deterministic synthetic stand-in for a UCR
+dataset (or, when ``RPM_UCR_ROOT`` points at a real archive copy, the
+genuine files — see :mod:`repro.data.ucr`). ``SUITE`` is the default
+benchmark suite that stands in for the paper's Table 1/2 dataset list.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from .base import Dataset
+from .ecg import ecg200_sim, ecg_five_days_sim, medical_alarm_abp
+from .spectra import coffee_sim, olive_oil_sim
+from .synthetic_extra import (
+    adiac_sim,
+    beef_sim,
+    chlorine_sim,
+    diatom_sim,
+    fish_sim,
+    haptics_sim,
+    mallat_sim,
+    sony_robot_sim,
+    symbols_sim,
+    yoga_sim,
+)
+from .synthetic import (
+    cbf,
+    cricket_sim,
+    face_four_sim,
+    gun_point_sim,
+    italy_power_sim,
+    lightning_sim,
+    mote_strain_sim,
+    osu_leaf_sim,
+    swedish_leaf_sim,
+    synthetic_control,
+    trace_sim,
+    two_patterns,
+    wafer_sim,
+)
+from .ucr import UCR_ROOT_ENV, load_ucr_dataset
+
+__all__ = ["EXTENDED_SUITE", "GENERATORS", "ROTATION_SUITE", "SUITE", "load", "load_suite"]
+
+#: name -> zero-argument factory producing the deterministic dataset.
+GENERATORS: dict[str, Callable[[], Dataset]] = {
+    "CBF": cbf,
+    "SyntheticControl": synthetic_control,
+    "TwoPatterns": two_patterns,
+    "GunPointSim": gun_point_sim,
+    "CricketSim": cricket_sim,
+    "TraceSim": trace_sim,
+    "CoffeeSim": coffee_sim,
+    "OliveOilSim": olive_oil_sim,
+    "ECGFiveDaysSim": ecg_five_days_sim,
+    "ECG200Sim": ecg200_sim,
+    "FaceFourSim": face_four_sim,
+    "SwedishLeafSim": swedish_leaf_sim,
+    "OSULeafSim": osu_leaf_sim,
+    "LightningSim": lightning_sim,
+    "WaferSim": wafer_sim,
+    "MoteStrainSim": mote_strain_sim,
+    "ItalyPowerSim": italy_power_sim,
+    "MedicalAlarmABP": medical_alarm_abp,
+    # extended suite (see repro.data.synthetic_extra)
+    "AdiacSim": adiac_sim,
+    "BeefSim": beef_sim,
+    "FishSim": fish_sim,
+    "MallatSim": mallat_sim,
+    "SymbolsSim": symbols_sim,
+    "HapticsSim": haptics_sim,
+    "YogaSim": yoga_sim,
+    "SonyRobotSim": sony_robot_sim,
+    "DiatomSim": diatom_sim,
+    "ChlorineSim": chlorine_sim,
+}
+
+#: Extra UCR-like datasets beyond the default benchmark suite; together
+#: with SUITE they bring the table closer to the paper's 45 datasets.
+EXTENDED_SUITE: tuple[str, ...] = (
+    "AdiacSim",
+    "BeefSim",
+    "FishSim",
+    "MallatSim",
+    "SymbolsSim",
+    "HapticsSim",
+    "YogaSim",
+    "SonyRobotSim",
+    "DiatomSim",
+    "ChlorineSim",
+)
+
+#: The stand-in for the paper's UCR evaluation suite (Tables 1 and 2).
+SUITE: tuple[str, ...] = (
+    "CBF",
+    "SyntheticControl",
+    "TwoPatterns",
+    "GunPointSim",
+    "CricketSim",
+    "TraceSim",
+    "CoffeeSim",
+    "OliveOilSim",
+    "ECGFiveDaysSim",
+    "ECG200Sim",
+    "FaceFourSim",
+    "SwedishLeafSim",
+    "OSULeafSim",
+    "LightningSim",
+    "WaferSim",
+    "MoteStrainSim",
+    "ItalyPowerSim",
+)
+
+#: Datasets used for the rotation case study (paper Table 4 uses
+#: Coffee, FaceFour, GunPoint, SwedishLeaf and OSULeaf).
+ROTATION_SUITE: tuple[str, ...] = (
+    "CoffeeSim",
+    "FaceFourSim",
+    "GunPointSim",
+    "SwedishLeafSim",
+    "OSULeafSim",
+)
+
+
+def load(name: str) -> Dataset:
+    """Load one dataset by name.
+
+    Prefers a real UCR archive copy when ``RPM_UCR_ROOT`` is set and
+    the named dataset exists there; otherwise uses the deterministic
+    synthetic generator.
+    """
+    root = os.environ.get(UCR_ROOT_ENV)
+    if root:
+        try:
+            return load_ucr_dataset(name, root)
+        except FileNotFoundError:
+            pass
+    try:
+        return GENERATORS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(GENERATORS)}"
+        ) from None
+
+
+def load_suite(names: tuple[str, ...] = SUITE) -> list[Dataset]:
+    """Load a list of datasets (default: the full benchmark suite)."""
+    return [load(name) for name in names]

@@ -1,0 +1,69 @@
+"""Rotation / shift transforms for the §6.1 case study.
+
+The paper evaluates shift-invariance by rotating each *test* series:
+pick a random cut point, swap the parts before and after it — the
+equivalent of starting a radial shape scan somewhere else on the
+outline. Training data stays untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Dataset
+
+__all__ = ["rotate_series", "rotate_rows", "rotate_test_split", "halfway_rotation"]
+
+
+def rotate_series(series: np.ndarray, cut: int) -> np.ndarray:
+    """Swap the sections before and after index *cut* (paper §6.1)."""
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("rotate_series expects a 1-D array")
+    cut = int(cut) % values.size
+    return np.concatenate([values[cut:], values[:cut]])
+
+
+def rotate_rows(
+    X: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rotate every row at an independent random cut point.
+
+    Returns ``(rotated, cuts)`` so experiments can reproduce or analyse
+    the applied shifts.
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("rotate_rows expects a 2-D array")
+    cuts = rng.integers(0, X.shape[1], size=X.shape[0])
+    rotated = np.empty_like(X)
+    for i, cut in enumerate(cuts):
+        rotated[i] = rotate_series(X[i], int(cut))
+    return rotated, cuts
+
+
+def rotate_test_split(dataset: Dataset, seed: int | None = 0) -> Dataset:
+    """The paper's protocol: train unchanged, test rotated."""
+    rotated, _ = rotate_rows(dataset.X_test, seed)
+    return Dataset(
+        name=f"{dataset.name}-rotated",
+        X_train=dataset.X_train.copy(),
+        y_train=dataset.y_train.copy(),
+        X_test=rotated,
+        y_test=dataset.y_test.copy(),
+    )
+
+
+def halfway_rotation(series: np.ndarray) -> np.ndarray:
+    """Cut at the midpoint and swap halves.
+
+    This is the auxiliary copy RPM's rotation-invariant transform
+    matches against: if a rotation broke the best-matching subsequence,
+    one of the original or its halfway rotation contains it whole
+    (paper §6.1).
+    """
+    values = np.asarray(series, dtype=float)
+    return rotate_series(values, values.size // 2)

@@ -1,0 +1,288 @@
+"""Additional UCR-like dataset generators (extended suite).
+
+The paper's Table 1 spans 45 UCR datasets. The core registry covers the
+most structurally distinctive families; this module adds ten more
+analogues so the extended benchmark suite gets closer to the paper's
+breadth: outline shapes with many subtle classes (Adiac, Fish, Yoga,
+DiatomSizeReduction), spectra (Beef), wavelet-like piecewise-smooth
+signals (MALLAT), drawn symbols (Symbols), smooth noisy movements
+(Haptics), short accelerometer bumps (SonyAIBORobotSurface) and slow
+process curves (ChlorineConcentration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Dataset
+from .spectra import _spectrum
+from .synthetic import make_dataset, random_warp, smooth, _radial_profile
+
+__all__ = [
+    "adiac_sim",
+    "beef_sim",
+    "fish_sim",
+    "mallat_sim",
+    "symbols_sim",
+    "haptics_sim",
+    "yoga_sim",
+    "sony_robot_sim",
+    "diatom_sim",
+    "chlorine_sim",
+]
+
+
+def adiac_sim(
+    n_train_per_class: int = 6,
+    n_test_per_class: int = 10,
+    length: int = 176,
+    seed: int = 40,
+) -> Dataset:
+    """Adiac-like: diatom outlines, six subtly different classes."""
+    specs = {
+        k: dict(lobes=3 + k, sharpness=1.0 + 0.15 * k, lobe_amp=0.18, irregularity=0.02)
+        for k in range(6)
+    }
+
+    def cls(spec):
+        return lambda rng: random_warp(_radial_profile(rng, length, **spec), rng, 0.01)
+
+    return make_dataset(
+        "AdiacSim", {k: cls(v) for k, v in specs.items()},
+        length, n_train_per_class, n_test_per_class, seed,
+    )
+
+
+def beef_sim(
+    n_train_per_class: int = 6,
+    n_test_per_class: int = 6,
+    length: int = 235,
+    seed: int = 41,
+) -> Dataset:
+    """Beef-like: five adulteration levels as spectra band shifts."""
+    grid = np.linspace(0.0, 1.0, length)
+    shared = [(0.12, 0.05, 0.8), (0.45, 0.06, 0.6), (0.88, 0.04, 0.5)]
+    specifics = {
+        k: [(0.60 + 0.015 * k, 0.02, 0.25 + 0.08 * k), (0.75, 0.02, 0.45 - 0.07 * k)]
+        for k in range(5)
+    }
+
+    def cls(bands):
+        return lambda rng: _spectrum(rng, grid, shared, bands, 0.01)
+
+    return make_dataset(
+        "BeefSim", {k: cls(v) for k, v in specifics.items()},
+        length, n_train_per_class, n_test_per_class, seed,
+    )
+
+
+def fish_sim(
+    n_train_per_class: int = 25,
+    n_test_per_class: int = 25,
+    length: int = 230,
+    seed: int = 42,
+) -> Dataset:
+    """Fish-like: seven fish-outline classes (radial scans)."""
+    specs = {
+        0: dict(lobes=2, sharpness=0.8, lobe_amp=0.50),
+        1: dict(lobes=2, sharpness=1.6, lobe_amp=0.40),
+        2: dict(lobes=3, sharpness=1.0, lobe_amp=0.35),
+        3: dict(lobes=3, sharpness=2.0, lobe_amp=0.30),
+        4: dict(lobes=4, sharpness=1.2, lobe_amp=0.30),
+        5: dict(lobes=4, sharpness=0.7, lobe_amp=0.45),
+        6: dict(lobes=5, sharpness=1.4, lobe_amp=0.25),
+    }
+
+    def cls(spec):
+        return lambda rng: random_warp(_radial_profile(rng, length, **spec), rng, 0.02)
+
+    return make_dataset(
+        "FishSim", {k: cls(v) for k, v in specs.items()},
+        length, n_train_per_class, n_test_per_class, seed,
+    )
+
+
+def mallat_sim(
+    n_train_per_class: int = 7,
+    n_test_per_class: int = 30,
+    length: int = 256,
+    seed: int = 43,
+) -> Dataset:
+    """MALLAT-like: one piecewise-smooth mother shape, eight scaled and
+    perturbed variants (the original is generated from the MALLAT
+    wavelet test signal)."""
+    t = np.linspace(0, 1, length)
+    mother = (
+        np.where(t < 0.3, 4 * t, 0.0)
+        + np.where((t >= 0.3) & (t < 0.5), 1.2 - 2 * (t - 0.3), 0.0)
+        + np.where((t >= 0.5) & (t < 0.7), 0.8 + np.sin(20 * np.pi * (t - 0.5)) * 0.3, 0.0)
+        + np.where(t >= 0.7, 0.8 * (1 - t) / 0.3, 0.0)
+    )
+
+    def cls(k: int):
+        bump_pos = 0.1 + 0.1 * k
+
+        def instance(rng: np.random.Generator) -> np.ndarray:
+            out = mother * rng.uniform(0.9, 1.1)
+            out += 0.5 * np.exp(-((t - bump_pos) ** 2) / 0.001)
+            return out + rng.standard_normal(length) * 0.03
+
+        return instance
+
+    return make_dataset(
+        "MallatSim", {k: cls(k) for k in range(8)},
+        length, n_train_per_class, n_test_per_class, seed,
+    )
+
+
+def symbols_sim(
+    n_train_per_class: int = 5,
+    n_test_per_class: int = 30,
+    length: int = 200,
+    seed: int = 44,
+) -> Dataset:
+    """Symbols-like: six drawn-symbol pen trajectories."""
+    t = np.linspace(0, 1, length)
+
+    def cls(k: int):
+        freq = 1 + k // 2
+        phase = (k % 2) * np.pi / 2
+
+        def instance(rng: np.random.Generator) -> np.ndarray:
+            out = np.sin(2 * np.pi * freq * t + phase + rng.normal(0, 0.1))
+            out += 0.4 * np.sin(2 * np.pi * (freq + 2) * t * rng.uniform(0.95, 1.05))
+            return random_warp(out, rng, 0.04) + rng.standard_normal(length) * 0.05
+
+        return instance
+
+    return make_dataset(
+        "SymbolsSim", {k: cls(k) for k in range(6)},
+        length, n_train_per_class, n_test_per_class, seed,
+    )
+
+
+def haptics_sim(
+    n_train_per_class: int = 20,
+    n_test_per_class: int = 30,
+    length: int = 200,
+    seed: int = 45,
+) -> Dataset:
+    """Haptics-like: smooth low-frequency hand movements, five classes,
+    deliberately hard (large within-class variation)."""
+
+    def cls(k: int):
+        def instance(rng: np.random.Generator) -> np.ndarray:
+            t = np.linspace(0, 1, length)
+            out = np.zeros(length)
+            for h in range(1, 4):
+                out += rng.normal(1.0 / h, 0.3) * np.sin(
+                    2 * np.pi * h * t + 2 * np.pi * k / 5 + rng.normal(0, 0.3)
+                )
+            return smooth(out, 5) + rng.standard_normal(length) * 0.2
+
+        return instance
+
+    return make_dataset(
+        "HapticsSim", {k: cls(k) for k in range(5)},
+        length, n_train_per_class, n_test_per_class, seed,
+    )
+
+
+def yoga_sim(
+    n_train_per_class: int = 30,
+    n_test_per_class: int = 60,
+    length: int = 220,
+    seed: int = 46,
+) -> Dataset:
+    """Yoga-like: two pose outlines that differ in one limb region."""
+
+    def pose(rng: np.random.Generator, variant: bool) -> np.ndarray:
+        profile = _radial_profile(rng, length, lobes=4, sharpness=1.2,
+                                  lobe_amp=0.35, irregularity=0.05)
+        if variant:
+            pos = int(0.62 * length)
+            width = int(0.1 * length)
+            profile[pos : pos + width] += np.hanning(width) * 0.35
+        return random_warp(profile, rng, 0.02)
+
+    return make_dataset(
+        "YogaSim",
+        {0: lambda rng: pose(rng, False), 1: lambda rng: pose(rng, True)},
+        length, n_train_per_class, n_test_per_class, seed,
+    )
+
+
+def sony_robot_sim(
+    n_train_per_class: int = 10,
+    n_test_per_class: int = 60,
+    length: int = 70,
+    seed: int = 47,
+) -> Dataset:
+    """SonyAIBORobotSurface-like: short gait accelerometer cycles on two
+    surfaces (carpet damps the impact spike, cement does not)."""
+
+    def gait(rng: np.random.Generator, cement: bool) -> np.ndarray:
+        t = np.linspace(0, 1, length)
+        out = np.sin(2 * np.pi * 2 * t + rng.normal(0, 0.2)) * 0.5
+        pos = int(rng.integers(int(0.2 * length), int(0.6 * length)))
+        width = max(4, length // 10)
+        end = min(pos + width, length)
+        amp = rng.uniform(2.0, 2.8) if cement else rng.uniform(0.8, 1.2)
+        out[pos:end] += np.hanning(end - pos) * amp
+        return out + rng.standard_normal(length) * 0.15
+
+    return make_dataset(
+        "SonyRobotSim",
+        {0: lambda rng: gait(rng, True), 1: lambda rng: gait(rng, False)},
+        length, n_train_per_class, n_test_per_class, seed,
+    )
+
+
+def diatom_sim(
+    n_train_per_class: int = 4,
+    n_test_per_class: int = 30,
+    length: int = 180,
+    seed: int = 48,
+) -> Dataset:
+    """DiatomSizeReduction-like: same outline family at four sizes
+    (classes differ mainly in lobe amplitude, the size-reduction axis)."""
+
+    def cls(k: int):
+        # Size reduction changes both the valve amplitude and how
+        # peaked the lobes are; the sharpness term keeps the classes
+        # distinguishable after z-normalization removes pure scale.
+        spec = dict(
+            lobes=3,
+            sharpness=0.7 + 0.5 * k,
+            lobe_amp=0.20 + 0.12 * k,
+            irregularity=0.02,
+        )
+        return lambda rng: random_warp(_radial_profile(rng, length, **spec), rng, 0.01)
+
+    return make_dataset(
+        "DiatomSim", {k: cls(k) for k in range(4)},
+        length, n_train_per_class, n_test_per_class, seed,
+    )
+
+
+def chlorine_sim(
+    n_train_per_class: int = 15,
+    n_test_per_class: int = 50,
+    length: int = 166,
+    seed: int = 49,
+) -> Dataset:
+    """ChlorineConcentration-like: slow dosing/decay curves, 3 regimes."""
+    t = np.linspace(0, 1, length)
+
+    def cls(k: int):
+        def instance(rng: np.random.Generator) -> np.ndarray:
+            rate = (k + 1) * rng.uniform(2.2, 2.8)
+            out = np.exp(-rate * t) + 0.3 * np.sin(2 * np.pi * (k + 2) * t)
+            return out + rng.standard_normal(length) * 0.05
+
+        return instance
+
+    return make_dataset(
+        "ChlorineSim", {k: cls(k) for k in range(3)},
+        length, n_train_per_class, n_test_per_class, seed,
+    )

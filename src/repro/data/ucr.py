@@ -1,0 +1,123 @@
+"""Loader for the UCR time-series archive text format.
+
+The paper evaluates on the UCR repository [4]. The archive ships each
+dataset as ``<Name>_TRAIN`` / ``<Name>_TEST`` text files where every
+line is ``label, v1, v2, ...`` (comma- or whitespace-separated). This
+build has no network access, so the benchmark suite uses the synthetic
+UCR-like generators in :mod:`repro.data.synthetic`; this loader exists
+so real archive files drop in unchanged if present (point
+``RPM_UCR_ROOT`` at the archive directory).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .base import Dataset
+
+__all__ = ["load_ucr_file", "load_ucr_dataset", "available_ucr_datasets", "UCR_ROOT_ENV"]
+
+UCR_ROOT_ENV = "RPM_UCR_ROOT"
+
+
+def load_ucr_file(path: str | Path) -> tuple[np.ndarray, np.ndarray]:
+    """Parse one UCR text file into ``(X, y)``.
+
+    Labels may be any numeric values; they are kept as integers when
+    integral. Both comma and whitespace delimiters are accepted, as are
+    the ``.tsv`` files of the 2018 archive refresh.
+    """
+    path = Path(path)
+    rows: list[list[float]] = []
+    with path.open() as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.replace(",", " ").split()
+            try:
+                rows.append([float(p) for p in parts])
+            except ValueError as exc:
+                raise ValueError(f"{path}:{line_no}: unparsable value ({exc})") from exc
+    if not rows:
+        raise ValueError(f"{path}: empty dataset file")
+    lengths = {len(r) for r in rows}
+    if len(lengths) != 1:
+        raise ValueError(f"{path}: ragged rows with lengths {sorted(lengths)}")
+    data = np.asarray(rows, dtype=float)
+    if data.shape[1] < 2:
+        raise ValueError(f"{path}: rows must contain a label and at least one value")
+    y = data[:, 0]
+    X = data[:, 1:]
+    if np.allclose(y, np.round(y)):
+        y = y.astype(int)
+    return X, y
+
+
+def _find_split_file(root: Path, name: str, split: str) -> Path:
+    candidates = [
+        root / name / f"{name}_{split}",
+        root / name / f"{name}_{split}.txt",
+        root / name / f"{name}_{split}.tsv",
+        root / f"{name}_{split}",
+        root / f"{name}_{split}.txt",
+        root / f"{name}_{split}.tsv",
+    ]
+    for candidate in candidates:
+        if candidate.is_file():
+            return candidate
+    raise FileNotFoundError(
+        f"no {split} file for UCR dataset {name!r} under {root} "
+        f"(tried {[str(c) for c in candidates]})"
+    )
+
+
+def load_ucr_dataset(name: str, root: str | Path | None = None) -> Dataset:
+    """Load ``<root>/<name>_{TRAIN,TEST}`` into a :class:`Dataset`.
+
+    ``root`` defaults to the ``RPM_UCR_ROOT`` environment variable.
+    """
+    if root is None:
+        root = os.environ.get(UCR_ROOT_ENV)
+        if root is None:
+            raise FileNotFoundError(
+                f"no UCR root given and ${UCR_ROOT_ENV} is unset"
+            )
+    root = Path(root)
+    X_train, y_train = load_ucr_file(_find_split_file(root, name, "TRAIN"))
+    X_test, y_test = load_ucr_file(_find_split_file(root, name, "TEST"))
+    if X_train.shape[1] != X_test.shape[1]:
+        raise ValueError(f"{name}: train/test length mismatch")
+    return Dataset(name=name, X_train=X_train, y_train=y_train, X_test=X_test, y_test=y_test)
+
+
+def available_ucr_datasets(root: str | Path | None = None) -> list[str]:
+    """Names of datasets with both TRAIN and TEST files under *root*."""
+    if root is None:
+        root = os.environ.get(UCR_ROOT_ENV)
+        if root is None:
+            return []
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    names: set[str] = set()
+    for entry in root.iterdir():
+        stem = entry.name
+        for suffix in ("_TRAIN", "_TRAIN.txt", "_TRAIN.tsv"):
+            if stem.endswith(suffix):
+                names.add(stem[: -len(suffix)])
+        if entry.is_dir():
+            for split_suffix in ("_TRAIN", "_TRAIN.txt", "_TRAIN.tsv"):
+                if (entry / f"{entry.name}{split_suffix}").is_file():
+                    names.add(entry.name)
+    out = []
+    for name in sorted(names):
+        try:
+            _find_split_file(root, name, "TEST")
+        except FileNotFoundError:
+            continue
+        out.append(name)
+    return out

@@ -1,0 +1,79 @@
+"""Euclidean distances between series and subsequences."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sax.znorm import znorm
+
+__all__ = [
+    "euclidean",
+    "squared_euclidean",
+    "znormed_euclidean",
+    "euclidean_early_abandon",
+    "pairwise_euclidean",
+]
+
+
+def _pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return a, b
+
+
+def euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """Plain Euclidean distance between two equal-length 1-D arrays."""
+    a, b = _pair(a, b)
+    return float(np.sqrt(np.sum((a - b) ** 2)))
+
+
+def squared_euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """Squared Euclidean distance (saves the sqrt in comparisons)."""
+    a, b = _pair(a, b)
+    return float(np.sum((a - b) ** 2))
+
+
+def znormed_euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance after z-normalizing both arguments.
+
+    This is the distance the paper uses between subsequences: shape
+    similarity irrespective of offset and scale.
+    """
+    a, b = _pair(a, b)
+    return euclidean(znorm(a), znorm(b))
+
+
+def euclidean_early_abandon(a: np.ndarray, b: np.ndarray, best_so_far: float) -> float:
+    """Euclidean distance with early abandonment.
+
+    Accumulates squared differences and stops as soon as the partial sum
+    exceeds ``best_so_far ** 2``; returns ``inf`` in that case. Used by
+    the closest-match search (paper §5.3 cites the UCR-suite-style early
+    abandoning as the main training-stage speedup).
+    """
+    a, b = _pair(a, b)
+    limit = best_so_far * best_so_far
+    total = 0.0
+    # Chunked accumulation: vectorized partial sums with frequent checks.
+    chunk = 16
+    for start in range(0, a.size, chunk):
+        diff = a[start : start + chunk] - b[start : start + chunk]
+        total += float(diff @ diff)
+        if total > limit:
+            return float("inf")
+    return float(np.sqrt(total))
+
+
+def pairwise_euclidean(rows: np.ndarray) -> np.ndarray:
+    """Dense pairwise Euclidean distance matrix of a 2-D array's rows."""
+    values = np.asarray(rows, dtype=float)
+    if values.ndim != 2:
+        raise ValueError(f"pairwise_euclidean expects a 2-D array, got {values.shape}")
+    sq = np.sum(values * values, axis=1)
+    gram = values @ values.T
+    d2 = sq[:, None] + sq[None, :] - 2.0 * gram
+    np.maximum(d2, 0.0, out=d2)
+    np.fill_diagonal(d2, 0.0)  # exact zeros despite floating-point noise
+    return np.sqrt(d2)

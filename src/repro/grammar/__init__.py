@@ -1,0 +1,29 @@
+"""Grammar-induction substrate: Sequitur and junction-aware inference."""
+
+from .inference import (
+    Occurrence,
+    RuleMotif,
+    concatenate_with_junctions,
+    discretize_class,
+    find_word_occurrences,
+    induce_motifs,
+)
+from .rules import Rule
+from .sequitur import Sequitur, induce_grammar
+from .symbols import Guard, NonTerminal, Symbol, Terminal
+
+__all__ = [
+    "Guard",
+    "NonTerminal",
+    "Occurrence",
+    "Rule",
+    "RuleMotif",
+    "Sequitur",
+    "Symbol",
+    "Terminal",
+    "concatenate_with_junctions",
+    "discretize_class",
+    "find_word_occurrences",
+    "induce_grammar",
+    "induce_motifs",
+]

@@ -1,0 +1,86 @@
+"""Grammar rules for Sequitur."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .symbols import Guard, NonTerminal, Symbol, Terminal
+
+__all__ = ["Rule"]
+
+
+class Rule:
+    """A context-free rule: ``R<i> -> s1 s2 ... sk``.
+
+    The right-hand side is a circular doubly-linked list anchored at a
+    guard sentinel. ``refcount`` counts how many :class:`NonTerminal`
+    symbols currently reference the rule; Sequitur's *rule utility*
+    constraint inlines any rule whose refcount drops to 1.
+    """
+
+    __slots__ = ("rule_id", "guard", "refcount")
+
+    def __init__(self, rule_id: int) -> None:
+        self.rule_id = rule_id
+        self.refcount = 0
+        self.guard = Guard(self)
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def first(self) -> Symbol:
+        """First RHS symbol."""
+        assert self.guard.next is not None
+        return self.guard.next
+
+    @property
+    def last(self) -> Symbol:
+        """Last RHS symbol."""
+        assert self.guard.prev is not None
+        return self.guard.prev
+
+    def is_empty(self) -> bool:
+        """True when the RHS holds no symbols."""
+        return self.guard.next is self.guard
+
+    def symbols(self) -> Iterator[Symbol]:
+        """Iterate the right-hand side symbols (guard excluded)."""
+        node = self.guard.next
+        while node is not None and node is not self.guard:
+            yield node
+            node = node.next
+
+    def append(self, symbol: Symbol) -> None:
+        """Append a symbol at the end of the RHS."""
+        self.guard.prev.insert_after(symbol)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.symbols())
+
+    # -- expansion ------------------------------------------------------------
+
+    def expansion(self) -> list[str]:
+        """The terminal token sequence this rule ultimately derives."""
+        out: list[str] = []
+        self._expand_into(out)
+        return out
+
+    def _expand_into(self, out: list[str]) -> None:
+        for symbol in self.symbols():
+            if isinstance(symbol, Terminal):
+                out.append(symbol.token)
+            elif isinstance(symbol, NonTerminal):
+                symbol.rule._expand_into(out)
+
+    def rhs_string(self) -> str:
+        """Human-readable right-hand side, e.g. ``'aba R2 R2'``."""
+        parts: list[str] = []
+        for symbol in self.symbols():
+            if isinstance(symbol, Terminal):
+                parts.append(symbol.token)
+            elif isinstance(symbol, NonTerminal):
+                parts.append(f"R{symbol.rule.rule_id}")
+        return " ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Rule(R{self.rule_id} -> {self.rhs_string()})"

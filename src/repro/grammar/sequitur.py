@@ -1,0 +1,222 @@
+"""Sequitur: linear-time context-free grammar induction.
+
+A faithful port of Nevill-Manning & Witten's SEQUITUR (1997), the
+grammar inducer RPM uses to discover recurrent SAX-word patterns. The
+algorithm appends tokens to the start rule one at a time while
+maintaining two invariants:
+
+* **digram uniqueness** — no pair of adjacent symbols appears more than
+  once in the grammar; a repeated digram is rewritten as a rule;
+* **rule utility** — every rule is referenced at least twice; a rule
+  whose reference count drops to one is inlined and deleted.
+
+Tokens here are whole SAX *words* (e.g. ``'abc'``), not characters, so
+one input position corresponds to one sliding-window subsequence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .rules import Rule
+from .symbols import NonTerminal, Symbol, Terminal
+
+__all__ = ["Sequitur", "induce_grammar"]
+
+
+class Sequitur:
+    """Incremental Sequitur grammar builder.
+
+    Usage::
+
+        g = Sequitur()
+        for token in tokens:
+            g.feed(token)
+        rules = g.rules()          # all live rules (incl. the start rule R0)
+        g.expansion(rule)          # terminal token sequence of a rule
+    """
+
+    def __init__(self) -> None:
+        self._digrams: dict[tuple, Symbol] = {}
+        self._next_id = 1
+        self.start = Rule(0)
+        self._rules: dict[int, Rule] = {0: self.start}
+        self._tokens_fed = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def feed(self, token: str) -> None:
+        """Append one token to the input and restore the invariants."""
+        terminal = Terminal(token)
+        self.start.append(terminal)
+        self._tokens_fed += 1
+        prev = terminal.prev
+        if prev is not None and not prev.is_guard():
+            self._check(prev)
+
+    def feed_all(self, tokens: Iterable[str]) -> "Sequitur":
+        """Feed every token of an iterable; returns self."""
+        for token in tokens:
+            self.feed(token)
+        return self
+
+    def rules(self) -> list[Rule]:
+        """All live rules, the start rule first, then by creation order."""
+        return [self._rules[rid] for rid in sorted(self._rules)]
+
+    def non_start_rules(self) -> list[Rule]:
+        """All live rules except the start rule R0."""
+        return [rule for rule in self.rules() if rule.rule_id != 0]
+
+    @property
+    def tokens_fed(self) -> int:
+        """Number of tokens consumed so far."""
+        return self._tokens_fed
+
+    def expansion(self, rule: Rule) -> list[str]:
+        """Terminal token sequence a rule derives."""
+        return rule.expansion()
+
+    def grammar_size(self) -> int:
+        """Total number of right-hand-side symbols across live rules."""
+        return sum(len(rule) for rule in self.rules())
+
+    def to_string(self) -> str:
+        """Printable grammar, GrammarViz style."""
+        lines = [f"R{rule.rule_id} -> {rule.rhs_string()}" for rule in self.rules()]
+        return "\n".join(lines)
+
+    # -- digram index ------------------------------------------------------------
+
+    @staticmethod
+    def _digram_key(symbol: Symbol) -> tuple:
+        assert symbol.next is not None
+        return (symbol.key(), symbol.next.key())
+
+    def _forget_digram(self, symbol: Symbol) -> None:
+        """Remove the digram starting at *symbol* if it is the indexed copy."""
+        if symbol.is_guard() or symbol.next is None or symbol.next.is_guard():
+            return
+        key = self._digram_key(symbol)
+        if self._digrams.get(key) is symbol:
+            del self._digrams[key]
+
+    # -- core operations ---------------------------------------------------------
+
+    def _check(self, symbol: Symbol) -> bool:
+        """Enforce digram uniqueness for the digram starting at *symbol*.
+
+        Returns True when the digram already existed in the index.
+        """
+        if symbol.is_guard() or symbol.next is None or symbol.next.is_guard():
+            return False
+        key = self._digram_key(symbol)
+        found = self._digrams.get(key)
+        if found is None:
+            self._digrams[key] = symbol
+            return False
+        if found.next is not symbol:  # ignore the overlapping occurrence
+            self._match(symbol, found)
+        return True
+
+    def _remove_symbol(self, symbol: Symbol) -> None:
+        """Unlink *symbol*, clearing the digram entries it participated in."""
+        prev = symbol.prev
+        # Digram (prev, symbol) dies with the unlink.
+        if prev is not None and not prev.is_guard() and not symbol.is_guard():
+            key = (prev.key(), symbol.key())
+            if self._digrams.get(key) is prev:
+                del self._digrams[key]
+        # Digram (symbol, next) dies too.
+        self._forget_digram(symbol)
+        symbol.unlink()
+        if isinstance(symbol, NonTerminal):
+            symbol.release()
+
+    def _substitute(self, symbol: Symbol, rule: Rule) -> None:
+        """Replace the digram at *symbol* with a reference to *rule*."""
+        prev = symbol.prev
+        assert prev is not None and symbol.next is not None
+        second = symbol.next
+        self._remove_symbol(symbol)
+        self._remove_symbol(second)
+        reference = NonTerminal(rule)
+        prev.insert_after(reference)
+        if not self._check(prev):
+            self._check(reference)
+
+    @staticmethod
+    def _copy(symbol: Symbol) -> Symbol:
+        if isinstance(symbol, Terminal):
+            return Terminal(symbol.token)
+        if isinstance(symbol, NonTerminal):
+            return NonTerminal(symbol.rule)
+        raise TypeError(f"cannot copy {symbol!r}")
+
+    def _match(self, new: Symbol, existing: Symbol) -> None:
+        """A digram occurs twice: rewrite with an existing or new rule."""
+        existing_prev = existing.prev
+        existing_next = existing.next
+        assert existing_prev is not None and existing_next is not None
+        if (
+            existing_prev.is_guard()
+            and existing_next.next is not None
+            and existing_next.next.is_guard()
+        ):
+            # The existing occurrence is the entire RHS of a rule: reuse it.
+            rule = existing_prev.rule  # type: ignore[attr-defined]
+            self._substitute(new, rule)
+        else:
+            rule = Rule(self._next_id)
+            self._next_id += 1
+            self._rules[rule.rule_id] = rule
+            rule.append(self._copy(new))
+            assert new.next is not None
+            rule.append(self._copy(new.next))
+            self._substitute(existing, rule)
+            self._substitute(new, rule)
+            self._digrams[self._digram_key(rule.first)] = rule.first
+        # Rule utility: the two symbols just removed matched *rule*'s RHS,
+        # so any reference count that dropped to one belongs to a rule
+        # referenced from one of *rule*'s endpoints. Inline those.
+        first = rule.first
+        if isinstance(first, NonTerminal) and first.rule.refcount == 1:
+            self._expand(first)
+        last = rule.last
+        if isinstance(last, NonTerminal) and last.rule.refcount == 1:
+            self._expand(last)
+
+    def _expand(self, symbol: NonTerminal) -> None:
+        """Inline the single remaining use of ``symbol.rule`` and delete it."""
+        rule = symbol.rule
+        left = symbol.prev
+        right = symbol.next
+        assert left is not None and right is not None
+        first = rule.first
+        last = rule.last
+        if rule.is_empty():  # pragma: no cover - cannot happen for 2+-symbol rules
+            self._remove_symbol(symbol)
+            del self._rules[rule.rule_id]
+            return
+        # Clear digram entries around the reference being replaced.
+        if not left.is_guard():
+            key = (left.key(), symbol.key())
+            if self._digrams.get(key) is left:
+                del self._digrams[key]
+        self._forget_digram(symbol)
+        symbol.release()
+        # Splice the rule body in place of the reference.
+        left.next = first
+        first.prev = left
+        last.next = right
+        right.prev = last
+        del self._rules[rule.rule_id]
+        # Index the freshly created digram at the seam (canonical Sequitur
+        # indexes only the right seam; the left seam is re-checked lazily).
+        if not last.is_guard() and not right.is_guard():
+            self._digrams[(last.key(), right.key())] = last
+
+
+def induce_grammar(tokens: Iterable[str]) -> Sequitur:
+    """Convenience one-shot induction over an iterable of tokens."""
+    return Sequitur().feed_all(tokens)

@@ -1,0 +1,127 @@
+"""Linked-list symbols for the Sequitur grammar inducer.
+
+Sequitur maintains each rule's right-hand side as a doubly-linked list
+of symbols so digram substitution is O(1). A symbol is either a
+*terminal* (a SAX word token) or a *non-terminal* (a reference to a
+:class:`~repro.grammar.rules.Rule`). Every rule owns a *guard* symbol —
+a sentinel that closes the circular list and never participates in a
+digram.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .rules import Rule
+
+__all__ = ["Symbol", "Terminal", "NonTerminal", "Guard"]
+
+
+class Symbol:
+    """Base node of a rule's right-hand side linked list."""
+
+    __slots__ = ("prev", "next")
+
+    def __init__(self) -> None:
+        self.prev: Optional[Symbol] = None
+        self.next: Optional[Symbol] = None
+
+    # -- linked-list plumbing -------------------------------------------------
+
+    def insert_after(self, symbol: "Symbol") -> None:
+        """Splice *symbol* into the list directly after ``self``."""
+        symbol.prev = self
+        symbol.next = self.next
+        if self.next is not None:
+            self.next.prev = symbol
+        self.next = symbol
+
+    def unlink(self) -> None:
+        """Remove ``self`` from its list (pointers of neighbours fixed up)."""
+        if self.prev is not None:
+            self.prev.next = self.next
+        if self.next is not None:
+            self.next.prev = self.prev
+        self.prev = None
+        self.next = None
+
+    # -- digram identity ------------------------------------------------------
+
+    def key(self):  # noqa: ANN201 - heterogeneous key
+        """Hashable identity used in the digram index."""
+        raise NotImplementedError
+
+    def is_guard(self) -> bool:
+        """True for the guard sentinel."""
+        return False
+
+    def is_nonterminal(self) -> bool:
+        """True for rule references."""
+        return False
+
+
+class Terminal(Symbol):
+    """A terminal token (one SAX word)."""
+
+    __slots__ = ("token",)
+
+    def __init__(self, token: str) -> None:
+        super().__init__()
+        self.token = token
+
+    def key(self) -> tuple[str, str]:
+        """Hashable identity used by the digram index."""
+        return ("t", self.token)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Terminal({self.token!r})"
+
+
+class NonTerminal(Symbol):
+    """A reference to a rule; increments the rule's use count while linked."""
+
+    __slots__ = ("rule",)
+
+    def __init__(self, rule: "Rule") -> None:
+        super().__init__()
+        self.rule = rule
+        rule.refcount += 1
+
+    def release(self) -> None:
+        """Drop the reference (called when this symbol is removed)."""
+        self.rule.refcount -= 1
+
+    def key(self) -> tuple[str, int]:
+        """Hashable identity used by the digram index."""
+        return ("r", self.rule.rule_id)
+
+    def is_nonterminal(self) -> bool:
+        """True for rule references."""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"NonTerminal(R{self.rule.rule_id})"
+
+
+class Guard(Symbol):
+    """Sentinel owned by each rule; never part of a digram."""
+
+    __slots__ = ("rule",)
+
+    def __init__(self, rule: "Rule") -> None:
+        super().__init__()
+        self.rule = rule
+        self.prev = self
+        self.next = self
+
+    def key(self) -> tuple[str, int]:
+        """Hashable identity used by the digram index."""
+        return ("g", self.rule.rule_id)
+
+    def is_guard(self) -> bool:
+        """True for the guard sentinel."""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Guard(R{self.rule.rule_id})"

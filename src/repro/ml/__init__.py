@@ -1,0 +1,36 @@
+"""Machine-learning substrate: SVM, CFS, cross-validation, metrics, tests."""
+
+from .cfs import CfsResult, cfs_select, discretize_features, symmetrical_uncertainty
+from .crossval import kfold_predictions, stratified_kfold, stratified_split
+from .metrics import (
+    ClassScores,
+    accuracy,
+    confusion_matrix,
+    error_rate,
+    macro_f1,
+    precision_recall_f1,
+)
+from .stats import WilcoxonResult, rankdata_average, wilcoxon_signed_rank
+from .svm import SVC, BinarySVM, StandardScaler
+
+__all__ = [
+    "BinarySVM",
+    "CfsResult",
+    "ClassScores",
+    "SVC",
+    "StandardScaler",
+    "WilcoxonResult",
+    "accuracy",
+    "cfs_select",
+    "confusion_matrix",
+    "discretize_features",
+    "error_rate",
+    "kfold_predictions",
+    "macro_f1",
+    "precision_recall_f1",
+    "rankdata_average",
+    "stratified_kfold",
+    "stratified_split",
+    "symmetrical_uncertainty",
+    "wilcoxon_signed_rank",
+]

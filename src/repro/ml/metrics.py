@@ -1,0 +1,109 @@
+"""Classification metrics: accuracy, confusion matrix, per-class F-measure.
+
+Algorithm 3 selects SAX parameters by the per-class F-measure from
+five-fold cross-validation, and the evaluation section reports error
+rates; both live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "error_rate",
+    "confusion_matrix",
+    "ClassScores",
+    "precision_recall_f1",
+    "macro_f1",
+]
+
+
+def _as_labels(y: np.ndarray) -> np.ndarray:
+    arr = np.asarray(y)
+    if arr.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correctly classified instances."""
+    t, p = _as_labels(y_true), _as_labels(y_pred)
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {p.shape}")
+    if t.size == 0:
+        raise ValueError("cannot score an empty label set")
+    return float(np.mean(t == p))
+
+
+def error_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """1 - accuracy; the quantity the paper's tables report."""
+    return 1.0 - accuracy(y_true, y_pred)
+
+
+def confusion_matrix(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    labels: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Confusion counts; rows are true labels, columns predictions.
+
+    Returns ``(matrix, labels)`` where *labels* fixes the row/column
+    order (defaults to the sorted union of observed labels).
+    """
+    t, p = _as_labels(y_true), _as_labels(y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([t, p]))
+    else:
+        labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    matrix = np.zeros((labels.size, labels.size), dtype=int)
+    for yt, yp in zip(t.tolist(), p.tolist()):
+        matrix[index[yt], index[yp]] += 1
+    return matrix, labels
+
+
+@dataclass(frozen=True)
+class ClassScores:
+    """Per-class precision / recall / F1 keyed by label."""
+
+    labels: tuple
+    precision: np.ndarray
+    recall: np.ndarray
+    f1: np.ndarray
+
+    def for_label(self, label) -> tuple[float, float, float]:
+        """(precision, recall, F1) of one class."""
+        idx = self.labels.index(label)
+        return float(self.precision[idx]), float(self.recall[idx]), float(self.f1[idx])
+
+
+def precision_recall_f1(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    labels: np.ndarray | None = None,
+) -> ClassScores:
+    """One-vs-rest precision, recall and F1 per class.
+
+    Degenerate classes (no predictions or no true members) score 0 for
+    the undefined ratio, the standard convention.
+    """
+    matrix, lab = confusion_matrix(y_true, y_pred, labels)
+    tp = np.diag(matrix).astype(float)
+    predicted = matrix.sum(axis=0).astype(float)
+    actual = matrix.sum(axis=1).astype(float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+        recall = np.where(actual > 0, tp / actual, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    return ClassScores(
+        labels=tuple(lab.tolist()), precision=precision, recall=recall, f1=f1
+    )
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    return float(precision_recall_f1(y_true, y_pred).f1.mean())

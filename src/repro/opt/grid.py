@@ -1,0 +1,128 @@
+"""Grid search and the integer-rounding objective wrapper.
+
+Two pieces of Algorithm 3 live here:
+
+* :class:`CachedIntegerObjective` — the paper rounds DIRECT's continuous
+  iterates to the nearest integer SAX parameters (§4.2). Rounding makes
+  many continuous points collapse onto one integer combination, so the
+  wrapper caches results; its ``n_unique`` is exactly the quantity ``R``
+  the complexity analysis of §5.3 reports (average < 200 on the UCR
+  suite).
+* :func:`grid_search` — the brute-force alternative (Algorithm 3 as
+  printed), with support for the early-pruning hook: the objective may
+  raise :class:`PrunedEvaluation` to abandon a combination cheaply when
+  no motif survives the γ-support check.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PrunedEvaluation", "CachedIntegerObjective", "GridResult", "grid_search"]
+
+
+class PrunedEvaluation(Exception):
+    """Raised by an objective to abandon a parameter combination early.
+
+    The paper prunes a combination when no repeated pattern reaches the
+    minimum support γ (§4.1); the search records the combination as
+    worst-possible and moves on.
+    """
+
+
+#: Objective value recorded for pruned combinations (error rates live in
+#: [0, 1], so 2.0 can never win).
+PRUNED_VALUE = 2.0
+
+
+class CachedIntegerObjective:
+    """Round to integers, cache, and count unique evaluations."""
+
+    def __init__(self, func) -> None:
+        self._func = func
+        self._cache: dict[tuple[int, ...], float] = {}
+        self.n_calls = 0
+
+    @property
+    def n_unique(self) -> int:
+        """Number of distinct integer combinations actually evaluated (R)."""
+        return len(self._cache)
+
+    def __call__(self, x: np.ndarray) -> float:
+        self.n_calls += 1
+        key = tuple(int(round(v)) for v in np.asarray(x, dtype=float))
+        if key in self._cache:
+            return self._cache[key]
+        try:
+            value = float(self._func(key))
+        except PrunedEvaluation:
+            value = PRUNED_VALUE
+        self._cache[key] = value
+        return value
+
+    def best(self) -> tuple[tuple[int, ...], float]:
+        """Best (key, value) evaluated so far."""
+        if not self._cache:
+            raise RuntimeError("objective never evaluated")
+        key = min(self._cache, key=self._cache.get)
+        return key, self._cache[key]
+
+
+@dataclass
+class GridResult:
+    """Outcome of :func:`grid_search`."""
+
+    x: tuple[int, ...]
+    fun: float
+    n_evaluations: int
+    n_pruned: int
+    table: dict[tuple[int, ...], float] = field(default_factory=dict)
+
+
+def grid_search(
+    func,
+    axes: list[list[int]],
+    *,
+    max_evaluations: int | None = None,
+) -> GridResult:
+    """Exhaustively minimize ``func`` over the cartesian product of *axes*.
+
+    ``func`` receives a tuple of ints and returns a float, or raises
+    :class:`PrunedEvaluation` to skip. Combinations are visited in
+    lexicographic order; an optional evaluation cap supports the
+    time-constrained setting.
+    """
+    if not axes or any(len(axis) == 0 for axis in axes):
+        raise ValueError("every axis must be non-empty")
+    table: dict[tuple[int, ...], float] = {}
+    best_x: tuple[int, ...] | None = None
+    best_f = np.inf
+    pruned = 0
+    for combo in itertools.product(*axes):
+        if max_evaluations is not None and len(table) >= max_evaluations:
+            break
+        key = tuple(int(v) for v in combo)
+        try:
+            value = float(func(key))
+        except PrunedEvaluation:
+            pruned += 1
+            table[key] = PRUNED_VALUE
+            continue
+        table[key] = value
+        if value < best_f:
+            best_f = value
+            best_x = key
+    if best_x is None:
+        # Everything was pruned: fall back to the first combination.
+        best_x = tuple(int(v) for v in next(itertools.product(*axes)))
+        best_f = PRUNED_VALUE
+    return GridResult(
+        x=best_x,
+        fun=best_f,
+        n_evaluations=len(table),
+        n_pruned=pruned,
+        table=table,
+    )

@@ -1,0 +1,92 @@
+"""SAX alphabet: equiprobable breakpoints over the standard normal.
+
+SAX maps each PAA segment mean to a letter by cutting N(0, 1) into
+``alphabet_size`` equiprobable regions. Breakpoints are the standard
+normal quantiles at ``i / alphabet_size`` for ``i = 1 .. alphabet_size-1``
+(Lin et al. 2003). Letters are lowercase ASCII: ``a`` for the lowest
+region, ``b`` for the next, and so on; alphabet sizes from 2 to 26 are
+supported (the paper uses up to ~12).
+"""
+
+from __future__ import annotations
+
+import string
+
+import numpy as np
+from scipy.stats import norm
+
+__all__ = [
+    "MIN_ALPHABET",
+    "MAX_ALPHABET",
+    "breakpoints",
+    "symbols_for",
+    "indices_to_letters",
+    "letters_to_indices",
+    "symbol_distance_table",
+]
+
+MIN_ALPHABET = 2
+MAX_ALPHABET = 26
+
+_BREAKPOINT_CACHE: dict[int, np.ndarray] = {}
+_DIST_TABLE_CACHE: dict[int, np.ndarray] = {}
+
+
+def _check_alphabet(alphabet_size: int) -> None:
+    if not MIN_ALPHABET <= alphabet_size <= MAX_ALPHABET:
+        raise ValueError(
+            f"alphabet_size must be in [{MIN_ALPHABET}, {MAX_ALPHABET}], got {alphabet_size}"
+        )
+
+
+def breakpoints(alphabet_size: int) -> np.ndarray:
+    """Return the ``alphabet_size - 1`` standard-normal breakpoints.
+
+    The returned array is sorted ascending; region ``i`` is the interval
+    ``(breakpoints[i-1], breakpoints[i]]`` with the open ends at ±inf.
+    """
+    _check_alphabet(alphabet_size)
+    cached = _BREAKPOINT_CACHE.get(alphabet_size)
+    if cached is None:
+        qs = np.arange(1, alphabet_size) / alphabet_size
+        cached = norm.ppf(qs)
+        _BREAKPOINT_CACHE[alphabet_size] = cached
+    return cached
+
+
+def symbols_for(alphabet_size: int) -> str:
+    """The letters of the alphabet, lowest region first (``'abc...'``)."""
+    _check_alphabet(alphabet_size)
+    return string.ascii_lowercase[:alphabet_size]
+
+
+def indices_to_letters(indices: np.ndarray) -> str:
+    """Convert an array of region indices (0-based) to a SAX word."""
+    return "".join(string.ascii_lowercase[i] for i in np.asarray(indices, dtype=int))
+
+
+def letters_to_indices(word: str) -> np.ndarray:
+    """Convert a SAX word back to 0-based region indices."""
+    return np.fromiter((ord(ch) - ord("a") for ch in word), dtype=int, count=len(word))
+
+
+def symbol_distance_table(alphabet_size: int) -> np.ndarray:
+    """MINDIST lookup table between letters (Lin et al. 2003).
+
+    ``table[i, j]`` is 0 when ``|i - j| <= 1`` and otherwise the gap
+    between the breakpoints bounding the two regions. Used by the
+    MINDIST lower bound and by baseline methods (Fast Shapelets' SAX
+    collision scoring).
+    """
+    _check_alphabet(alphabet_size)
+    cached = _DIST_TABLE_CACHE.get(alphabet_size)
+    if cached is not None:
+        return cached
+    cuts = breakpoints(alphabet_size)
+    table = np.zeros((alphabet_size, alphabet_size))
+    for i in range(alphabet_size):
+        for j in range(alphabet_size):
+            if abs(i - j) > 1:
+                table[i, j] = cuts[max(i, j) - 1] - cuts[min(i, j)]
+    _DIST_TABLE_CACHE[alphabet_size] = table
+    return table

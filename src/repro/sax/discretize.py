@@ -1,0 +1,190 @@
+"""Sliding-window SAX discretization with numerosity reduction.
+
+This is the pre-processing step of RPM (paper §3.2.1): a window of
+length ``window_size`` slides over the (possibly concatenated) training
+series; each window is z-normalized and converted into a SAX word. The
+output keeps, for every word, the offset of the window's leftmost point
+so that grammar rules can later be mapped back onto raw subsequences.
+
+Numerosity reduction: consecutive identical words are collapsed into
+the first occurrence, which (a) shrinks the grammar-induction input and
+(b) is what lets Sequitur rules expand to *variable-length* raw
+subsequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .sax import sax_words_for_rows
+from .znorm import znorm_rows
+
+__all__ = ["SaxParams", "SaxRecord", "sliding_windows", "discretize"]
+
+
+@dataclass(frozen=True)
+class SaxParams:
+    """The three SAX discretization parameters optimized by Algorithm 3."""
+
+    window_size: int
+    paa_size: int
+    alphabet_size: int
+
+    def __post_init__(self) -> None:
+        if self.window_size < 2:
+            raise ValueError(f"window_size must be >= 2, got {self.window_size}")
+        if not 1 <= self.paa_size <= self.window_size:
+            raise ValueError(
+                f"paa_size must be in [1, window_size={self.window_size}], got {self.paa_size}"
+            )
+        if not 2 <= self.alphabet_size <= 26:
+            raise ValueError(f"alphabet_size must be in [2, 26], got {self.alphabet_size}")
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        """(window, paa, alphabet) as a plain tuple."""
+        return (self.window_size, self.paa_size, self.alphabet_size)
+
+
+@dataclass
+class SaxRecord:
+    """The discretization result fed into grammar induction.
+
+    Attributes
+    ----------
+    words:
+        SAX words surviving numerosity reduction, in series order.
+    offsets:
+        ``offsets[i]`` is the starting index in the source series of the
+        window that produced ``words[i]``.
+    params:
+        The :class:`SaxParams` used.
+    series_length:
+        Length of the source series (needed to convert a word index
+        range back to a raw index range).
+    """
+
+    words: list[str]
+    offsets: np.ndarray
+    params: SaxParams
+    series_length: int
+    dropped: int = field(default=0)
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def as_string(self) -> str:
+        """The token string fed to the grammar inducer."""
+        return " ".join(self.words)
+
+
+def sliding_windows(series: np.ndarray, window_size: int) -> np.ndarray:
+    """All contiguous windows of *series* as a (m - n + 1, n) view-copy."""
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1:
+        raise ValueError(f"sliding_windows expects a 1-D array, got shape {values.shape}")
+    if window_size > values.size:
+        raise ValueError(
+            f"window_size ({window_size}) exceeds series length ({values.size})"
+        )
+    return np.lib.stride_tricks.sliding_window_view(values, window_size).copy()
+
+
+#: Numerosity-reduction strategies (GrammarViz's vocabulary): ``exact``
+#: collapses runs of identical words, ``mindist`` also collapses a word
+#: whose MINDIST to its predecessor is zero (every letter within one
+#: breakpoint step), ``none`` keeps every window.
+REDUCTIONS = ("exact", "mindist", "none")
+
+
+def _mindist_zero(word_a: str, word_b: str) -> bool:
+    """True when MINDIST(word_a, word_b) == 0 (all letters adjacent)."""
+    return len(word_a) == len(word_b) and all(
+        abs(ord(a) - ord(b)) <= 1 for a, b in zip(word_a, word_b)
+    )
+
+
+def discretize(
+    series: np.ndarray,
+    params: SaxParams,
+    *,
+    numerosity_reduction: bool | str = True,
+    valid_start: np.ndarray | None = None,
+) -> SaxRecord:
+    """Discretize *series* into a numerosity-reduced SAX word sequence.
+
+    Parameters
+    ----------
+    series:
+        The raw (concatenated) series.
+    params:
+        SAX parameters (window, PAA, alphabet sizes).
+    numerosity_reduction:
+        Strategy for collapsing consecutive near-duplicate words
+        (paper §3.2.1). ``True`` / ``'exact'`` keeps the first of each
+        run of identical words; ``'mindist'`` additionally collapses
+        words at MINDIST zero from their predecessor (GrammarViz's
+        alternative strategy, coarser); ``False`` / ``'none'`` keeps
+        every window (ablation).
+    valid_start:
+        Optional boolean mask of length ``len(series) - window + 1``;
+        positions marked ``False`` are skipped entirely. RPM uses this
+        to drop windows that span junctions of concatenated training
+        instances (paper §3.2.2 / Figure 4). A skipped position also
+        breaks a numerosity-reduction run, so patterns cannot silently
+        bridge two different training instances.
+
+    Returns
+    -------
+    SaxRecord
+    """
+    if isinstance(numerosity_reduction, bool):
+        reduction = "exact" if numerosity_reduction else "none"
+    else:
+        reduction = numerosity_reduction
+    if reduction not in REDUCTIONS:
+        raise ValueError(
+            f"numerosity_reduction must be bool or one of {REDUCTIONS}, "
+            f"got {numerosity_reduction!r}"
+        )
+
+    values = np.asarray(series, dtype=float)
+    windows = sliding_windows(values, params.window_size)
+    n_positions = windows.shape[0]
+    if valid_start is not None:
+        valid_start = np.asarray(valid_start, dtype=bool)
+        if valid_start.shape != (n_positions,):
+            raise ValueError(
+                f"valid_start must have shape ({n_positions},), got {valid_start.shape}"
+            )
+
+    normalized = znorm_rows(windows)
+    all_words = sax_words_for_rows(normalized, params.paa_size, params.alphabet_size)
+
+    words: list[str] = []
+    offsets: list[int] = []
+    dropped = 0
+    previous: str | None = None
+    for position, word in enumerate(all_words):
+        if valid_start is not None and not valid_start[position]:
+            # A junction breaks the run: the next valid word is always kept.
+            previous = None
+            dropped += 1
+            continue
+        if previous is not None:
+            if reduction == "exact" and word == previous:
+                continue
+            if reduction == "mindist" and _mindist_zero(word, previous):
+                continue
+        words.append(word)
+        offsets.append(position)
+        previous = word
+
+    return SaxRecord(
+        words=words,
+        offsets=np.asarray(offsets, dtype=int),
+        params=params,
+        series_length=values.size,
+        dropped=dropped,
+    )

@@ -1,0 +1,101 @@
+"""Piecewise Aggregate Approximation (PAA).
+
+PAA (Keogh et al. 2001) reduces an *n*-point series to *w* segment
+means. When ``w`` does not divide ``n`` evenly we use the exact
+fractional-weighting scheme (every original point contributes weight
+proportional to its overlap with each segment), which is the behaviour
+of the canonical SAX implementations rather than naive truncation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["paa", "paa_rows"]
+
+
+def paa(series: np.ndarray, segments: int) -> np.ndarray:
+    """Compute the PAA representation of a 1-D series.
+
+    Parameters
+    ----------
+    series:
+        One-dimensional array of length ``n``.
+    segments:
+        Number of output segments ``w`` with ``1 <= w <= n``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of ``w`` segment means. When ``w == n`` the input is
+        returned unchanged (as a copy).
+    """
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1:
+        raise ValueError(f"paa expects a 1-D array, got shape {values.shape}")
+    n = values.size
+    if segments < 1:
+        raise ValueError(f"segments must be >= 1, got {segments}")
+    if segments > n:
+        raise ValueError(f"segments ({segments}) may not exceed series length ({n})")
+    if segments == n:
+        return values.copy()
+    if n % segments == 0:
+        return values.reshape(segments, n // segments).mean(axis=1)
+    return _fractional_paa(values[np.newaxis, :], segments)[0]
+
+
+def paa_rows(matrix: np.ndarray, segments: int) -> np.ndarray:
+    """Row-wise PAA of a 2-D array of equal-length windows."""
+    values = np.asarray(matrix, dtype=float)
+    if values.ndim != 2:
+        raise ValueError(f"paa_rows expects a 2-D array, got shape {values.shape}")
+    rows, n = values.shape
+    if segments < 1:
+        raise ValueError(f"segments must be >= 1, got {segments}")
+    if segments > n:
+        raise ValueError(f"segments ({segments}) may not exceed window length ({n})")
+    if segments == n:
+        return values.copy()
+    if n % segments == 0:
+        return values.reshape(rows, segments, n // segments).mean(axis=2)
+    return _fractional_paa(values, segments)
+
+
+def _fractional_paa(matrix: np.ndarray, segments: int) -> np.ndarray:
+    """Exact PAA for the non-divisible case via an overlap-weight matrix.
+
+    Each of the ``n`` input points is stretched over ``segments`` equal
+    bins of width ``n / segments``; a point contributes to a bin in
+    proportion to the length of their overlap. The weight matrix is
+    cached per ``(n, segments)`` pair.
+    """
+    rows, n = matrix.shape
+    weights = _overlap_weights(n, segments)
+    return matrix @ weights
+
+
+_WEIGHT_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
+
+def _overlap_weights(n: int, segments: int) -> np.ndarray:
+    key = (n, segments)
+    cached = _WEIGHT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    width = n / segments
+    weights = np.zeros((n, segments))
+    for point in range(n):
+        lo, hi = float(point), float(point + 1)
+        first = int(lo // width)
+        last = min(int(np.ceil(hi / width)), segments)
+        for seg in range(first, last):
+            seg_lo, seg_hi = seg * width, (seg + 1) * width
+            overlap = min(hi, seg_hi) - max(lo, seg_lo)
+            if overlap > 0:
+                weights[point, seg] = overlap / width
+    # Keep the cache bounded; PAA is called with few distinct shapes.
+    if len(_WEIGHT_CACHE) > 256:
+        _WEIGHT_CACHE.clear()
+    _WEIGHT_CACHE[key] = weights
+    return weights

@@ -1,0 +1,68 @@
+"""Core SAX conversion: series -> word, plus the MINDIST lower bound."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .alphabet import breakpoints, indices_to_letters, letters_to_indices, symbol_distance_table
+from .paa import paa, paa_rows
+from .znorm import znorm
+
+__all__ = ["sax_word", "sax_words_for_rows", "mindist"]
+
+
+def sax_word(
+    series: np.ndarray,
+    paa_size: int,
+    alphabet_size: int,
+    *,
+    normalize: bool = True,
+) -> str:
+    """Discretize a 1-D series into a SAX word.
+
+    The series is z-normalized (unless ``normalize=False`` — useful when
+    the caller already normalized), reduced to ``paa_size`` segment
+    means, and each mean is mapped to a letter via the equiprobable
+    N(0,1) breakpoints.
+    """
+    values = np.asarray(series, dtype=float)
+    if normalize:
+        values = znorm(values)
+    segments = paa(values, paa_size)
+    cuts = breakpoints(alphabet_size)
+    indices = np.searchsorted(cuts, segments, side="left")
+    return indices_to_letters(indices)
+
+
+def sax_words_for_rows(
+    windows: np.ndarray,
+    paa_size: int,
+    alphabet_size: int,
+) -> list[str]:
+    """Vectorized SAX for a 2-D batch of already z-normalized windows."""
+    segments = paa_rows(windows, paa_size)
+    cuts = breakpoints(alphabet_size)
+    indices = np.searchsorted(cuts, segments, side="left")
+    letters = np.array(list("abcdefghijklmnopqrstuvwxyz"[:alphabet_size]))
+    return ["".join(row) for row in letters[indices]]
+
+
+def mindist(word_a: str, word_b: str, original_length: int, alphabet_size: int) -> float:
+    """The SAX MINDIST lower bound between two words of equal length.
+
+    ``MINDIST(â, b̂) = sqrt(n / w) * sqrt(sum dist(a_i, b_i)^2)`` where
+    ``dist`` is the breakpoint-gap table. It lower-bounds the Euclidean
+    distance between the z-normalized originals (Lin et al. 2003).
+    """
+    if len(word_a) != len(word_b):
+        raise ValueError(
+            f"mindist requires equal-length words, got {len(word_a)} and {len(word_b)}"
+        )
+    table = symbol_distance_table(alphabet_size)
+    ia = letters_to_indices(word_a)
+    ib = letters_to_indices(word_b)
+    if ia.size and (ia.max() >= alphabet_size or ib.max() >= alphabet_size):
+        raise ValueError("word contains letters outside the alphabet")
+    gaps = table[ia, ib]
+    w = len(word_a)
+    return float(np.sqrt(original_length / w) * np.sqrt(np.sum(gaps * gaps)))

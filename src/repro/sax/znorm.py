@@ -1,0 +1,71 @@
+"""Z-normalization of time series and subsequences.
+
+SAX (and virtually every subsequence-distance computation in this
+library) operates on z-normalized data: each window is rescaled to zero
+mean and unit standard deviation before discretization or comparison.
+Following the SAX literature (Lin et al. 2007), windows whose standard
+deviation falls below a small threshold are treated as flat and mapped
+to an all-zero vector instead of being blown up by a near-zero divisor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["znorm", "znorm_rows", "NORM_THRESHOLD"]
+
+#: Standard deviation below which a sequence is considered constant.
+#: The value matches the default used by GrammarViz / SAX-VSM (0.01).
+NORM_THRESHOLD = 1e-2
+
+
+def znorm(series: np.ndarray, threshold: float = NORM_THRESHOLD) -> np.ndarray:
+    """Z-normalize a 1-D series.
+
+    Parameters
+    ----------
+    series:
+        One-dimensional array of observations.
+    threshold:
+        If the standard deviation of *series* is below this value the
+        series is considered flat and a zero vector of the same length
+        is returned (mean is still subtracted, which yields zeros up to
+        numerical noise that we clamp explicitly).
+
+    Returns
+    -------
+    numpy.ndarray
+        A new float array with mean 0 and standard deviation 1 (or all
+        zeros for flat input).
+    """
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1:
+        raise ValueError(f"znorm expects a 1-D array, got shape {values.shape}")
+    if values.size == 0:
+        return values.copy()
+    sd = values.std()
+    if sd < threshold:
+        return np.zeros_like(values)
+    return (values - values.mean()) / sd
+
+
+def znorm_rows(matrix: np.ndarray, threshold: float = NORM_THRESHOLD) -> np.ndarray:
+    """Z-normalize every row of a 2-D array independently.
+
+    Vectorized companion of :func:`znorm` used on batches of sliding
+    windows. Rows with standard deviation below *threshold* become zero
+    rows.
+    """
+    values = np.asarray(matrix, dtype=float)
+    if values.ndim != 2:
+        raise ValueError(f"znorm_rows expects a 2-D array, got shape {values.shape}")
+    if values.size == 0:
+        return values.copy()
+    means = values.mean(axis=1, keepdims=True)
+    sds = values.std(axis=1, keepdims=True)
+    flat = (sds < threshold).ravel()
+    # Avoid division warnings for flat rows; they are overwritten below.
+    sds[flat] = 1.0
+    out = (values - means) / sds
+    out[flat] = 0.0
+    return out

@@ -1,0 +1,94 @@
+"""Dependency-free terminal visualization helpers.
+
+The paper's figures are line plots and scatter plots; this module
+renders the same information as unicode sparklines and ASCII scatter
+plots so that the library's examples, CLI and reports work in any
+terminal without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sparkline", "ascii_scatter", "annotate_interval", "heading"]
+
+BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(series: np.ndarray, width: int = 72) -> str:
+    """Render a series as a one-line unicode sparkline.
+
+    Series longer than *width* are subsampled; a constant series renders
+    as a flat line of the lowest block.
+    """
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("sparkline expects a 1-D array")
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        idx = np.linspace(0, values.size - 1, width).astype(int)
+        values = values[idx]
+    lo, hi = values.min(), values.max()
+    if hi - lo < 1e-12:
+        return BLOCKS[0] * values.size
+    scaled = (values - lo) / (hi - lo) * (len(BLOCKS) - 1)
+    return "".join(BLOCKS[int(round(v))] for v in scaled)
+
+
+def annotate_interval(length: int, start: int, end: int, width: int = 72, mark: str = "^") -> str:
+    """A marker line aligned under a :func:`sparkline` of *length* points.
+
+    Useful to point at a pattern occurrence: the columns corresponding
+    to ``[start, end)`` carry *mark*.
+    """
+    if length <= 0:
+        return ""
+    cols = min(length, width)
+    scale = cols / length
+    lo = int(start * scale)
+    hi = max(lo + 1, int(end * scale))
+    line = [" "] * cols
+    for i in range(lo, min(hi, cols)):
+        line[i] = mark
+    return "".join(line)
+
+
+def ascii_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    labels: np.ndarray,
+    *,
+    width: int = 60,
+    height: int = 18,
+    markers: str = "ox+*",
+) -> str:
+    """Render a labelled 2-D scatter plot as ASCII art with a legend."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    labels = np.asarray(labels)
+    if not (x.shape == y.shape == labels.shape):
+        raise ValueError("x, y and labels must share a shape")
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = x.min(), x.max()
+    y_lo, y_hi = y.min(), y.max()
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+    unique = list(dict.fromkeys(labels.tolist()))
+    for xi, yi, label in zip(x, y, labels):
+        col = int((xi - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((yi - y_lo) / y_span * (height - 1))
+        grid[row][col] = markers[unique.index(label) % len(markers)]
+    lines = ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]} = class {label!r}" for i, label in enumerate(unique)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def heading(text: str) -> str:
+    """A boxed section heading for terminal reports."""
+    bar = "=" * len(text)
+    return f"\n{bar}\n{text}\n{bar}"

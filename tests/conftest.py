@@ -1,0 +1,35 @@
+"""Shared fixtures: tiny deterministic datasets that keep tests fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, cbf, gun_point_sim
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_cbf() -> Dataset:
+    """A small CBF split (3 classes) for pipeline-level tests."""
+    return cbf(n_train_per_class=8, n_test_per_class=10, length=96, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_gun() -> Dataset:
+    """A small 2-class dataset with a localized discriminative pattern."""
+    return gun_point_sim(n_train_per_class=10, n_test_per_class=12, length=120, seed=7)
+
+
+@pytest.fixture(scope="session")
+def two_blob_features(rng) -> tuple[np.ndarray, np.ndarray]:
+    """Linearly separable 2-class feature data for classifier tests."""
+    X = np.vstack(
+        [rng.normal(0.0, 0.6, size=(40, 3)), rng.normal(3.0, 0.6, size=(40, 3))]
+    )
+    y = np.array([0] * 40 + [1] * 40)
+    return X, y

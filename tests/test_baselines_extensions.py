@@ -1,0 +1,171 @@
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BagOfPatternsClassifier,
+    ShapeletTransformClassifier,
+    TunedLearningShapelets,
+)
+from repro.sax.discretize import SaxParams
+
+
+class TestShapeletTransform:
+    def test_learns_gun_point(self, tiny_gun):
+        clf = ShapeletTransformClassifier(n_shapelets=6, seed=0)
+        clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+        acc = np.mean(clf.predict(tiny_gun.X_test) == tiny_gun.y_test)
+        assert acc > 0.6
+
+    def test_transform_shape(self, tiny_gun):
+        clf = ShapeletTransformClassifier(n_shapelets=5, seed=0)
+        clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+        F = clf.transform(tiny_gun.X_test)
+        assert F.shape == (tiny_gun.n_test, len(clf.shapelets_))
+        assert (F >= 0).all()
+
+    def test_shapelets_sorted_by_gain(self, tiny_gun):
+        clf = ShapeletTransformClassifier(n_shapelets=8, seed=0)
+        clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+        gains = [s.gain for s in clf.shapelets_]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_self_similarity_pruning(self, tiny_gun):
+        clf = ShapeletTransformClassifier(n_shapelets=10, seed=0)
+        clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+        for i, a in enumerate(clf.shapelets_):
+            for b in clf.shapelets_[i + 1 :]:
+                if a.source_series == b.source_series:
+                    assert abs(a.position - b.position) >= min(a.length, b.length)
+
+    def test_single_class_degenerates_gracefully(self, rng):
+        X = rng.standard_normal((5, 40))
+        y = np.zeros(5)
+        clf = ShapeletTransformClassifier(seed=0).fit(X, y)
+        assert np.array_equal(clf.predict(X), y)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            ShapeletTransformClassifier().predict(np.zeros((1, 30)))
+
+
+class TestBagOfPatterns:
+    PARAMS = SaxParams(24, 4, 4)
+
+    def test_learns_cbf(self, tiny_cbf):
+        clf = BagOfPatternsClassifier(self.PARAMS)
+        clf.fit(tiny_cbf.X_train, tiny_cbf.y_train)
+        acc = np.mean(clf.predict(tiny_cbf.X_test) == tiny_cbf.y_test)
+        assert acc > 0.55
+
+    def test_cosine_metric(self, tiny_cbf):
+        clf = BagOfPatternsClassifier(self.PARAMS, metric="cosine")
+        clf.fit(tiny_cbf.X_train, tiny_cbf.y_train)
+        acc = np.mean(clf.predict(tiny_cbf.X_test) == tiny_cbf.y_test)
+        assert acc > 0.5
+
+    def test_transform_uses_train_vocabulary(self, tiny_cbf):
+        clf = BagOfPatternsClassifier(self.PARAMS)
+        clf.fit(tiny_cbf.X_train, tiny_cbf.y_train)
+        F = clf.transform(tiny_cbf.X_test)
+        assert F.shape == (tiny_cbf.n_test, len(clf.vocabulary_))
+
+    def test_histograms_nonnegative_integers(self, tiny_cbf):
+        clf = BagOfPatternsClassifier(self.PARAMS)
+        clf.fit(tiny_cbf.X_train, tiny_cbf.y_train)
+        H = clf.train_histograms_
+        assert (H >= 0).all()
+        np.testing.assert_array_equal(H, np.round(H))
+
+    def test_rejects_bad_metric(self):
+        with pytest.raises(ValueError, match="metric"):
+            BagOfPatternsClassifier(self.PARAMS, metric="manhattan")
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            BagOfPatternsClassifier(self.PARAMS).predict(np.zeros((1, 30)))
+
+
+class TestTunedLearningShapelets:
+    def test_small_grid_fit(self, tiny_gun):
+        grid = {"n_shapelets": (4,), "length_fraction": (0.15, 0.25), "l2": (0.01,)}
+        clf = TunedLearningShapelets(grid=grid, cv_folds=2, epochs=60, seed=0)
+        clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+        assert clf.best_params_ in (
+            {"l2": 0.01, "length_fraction": 0.15, "n_shapelets": 4},
+            {"l2": 0.01, "length_fraction": 0.25, "n_shapelets": 4},
+        )
+        assert len(clf.cv_errors_) == 2
+        preds = clf.predict(tiny_gun.X_test)
+        assert preds.shape == tiny_gun.y_test.shape
+
+    def test_best_config_has_lowest_cv_error(self, tiny_gun):
+        grid = {"n_shapelets": (2, 6), "length_fraction": (0.15,), "l2": (0.01,)}
+        clf = TunedLearningShapelets(grid=grid, cv_folds=2, epochs=60, seed=0)
+        clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+        best_key = tuple(sorted(clf.best_params_.items()))
+        assert clf.cv_errors_[best_key] == min(clf.cv_errors_.values())
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            TunedLearningShapelets().predict(np.zeros((1, 30)))
+
+
+class TestLogicalShapelets:
+    def test_learns_gun_point(self, tiny_gun):
+        from repro.baselines import LogicalShapeletsClassifier
+
+        clf = LogicalShapeletsClassifier(seed=0).fit(tiny_gun.X_train, tiny_gun.y_train)
+        acc = np.mean(clf.predict(tiny_gun.X_test) == tiny_gun.y_test)
+        assert acc > 0.6
+
+    def test_logical_predicate_on_xor_structure(self, rng):
+        # Class 1 has bump A OR bump B; class 0 has neither. A single
+        # shapelet threshold cannot express OR cleanly, but the logical
+        # node can.
+        from repro.baselines import LogicalShapeletsClassifier
+
+        def series(kind):
+            s = rng.standard_normal(80) * 0.05
+            if kind == "a":
+                s[10:26] += np.hanning(16) * 3
+            elif kind == "b":
+                s[50:66] -= np.hanning(16) * 3
+            return s
+
+        X = np.array(
+            [series("a") for _ in range(6)]
+            + [series("b") for _ in range(6)]
+            + [series("none") for _ in range(12)]
+        )
+        y = np.array([1] * 12 + [0] * 12)
+        clf = LogicalShapeletsClassifier(seed=0, max_depth=3)
+        clf.fit(X, y)
+        assert np.mean(clf.predict(X) == y) > 0.85
+
+    def test_pure_input_leaf_only(self, rng):
+        from repro.baselines import LogicalShapeletsClassifier
+
+        X = rng.standard_normal((5, 40))
+        clf = LogicalShapeletsClassifier(seed=0).fit(X, np.zeros(5))
+        assert clf.root_.is_leaf
+
+    def test_predict_before_fit(self):
+        from repro.baselines import LogicalShapeletsClassifier
+
+        with pytest.raises(RuntimeError, match="fit"):
+            LogicalShapeletsClassifier().predict(np.zeros((1, 30)))
+
+    def test_node_evaluate_ops(self, rng):
+        from repro.baselines.logical_shapelets import LogicalNode
+
+        pattern = np.hanning(10)
+        series = rng.standard_normal(40) * 0.05
+        series[5:15] += pattern * 4
+        near = LogicalNode(shapelet_a=pattern, threshold_a=1.0)
+        assert near.evaluate(series)
+        far = LogicalNode(shapelet_a=pattern, threshold_a=1.0,
+                          shapelet_b=-pattern, threshold_b=1e-6, op="and")
+        assert not far.evaluate(series)
+        either = LogicalNode(shapelet_a=pattern, threshold_a=1.0,
+                             shapelet_b=-pattern, threshold_b=1e-6, op="or")
+        assert either.evaluate(series)

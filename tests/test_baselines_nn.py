@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.baselines.nn import NearestNeighborDTW, NearestNeighborED
+
+
+class TestNearestNeighborED:
+    def test_memorizes_training_set(self, tiny_cbf):
+        clf = NearestNeighborED().fit(tiny_cbf.X_train, tiny_cbf.y_train)
+        preds = clf.predict(tiny_cbf.X_train)
+        assert np.array_equal(preds, tiny_cbf.y_train)
+
+    def test_reasonable_on_cbf(self, tiny_cbf):
+        clf = NearestNeighborED().fit(tiny_cbf.X_train, tiny_cbf.y_train)
+        acc = np.mean(clf.predict(tiny_cbf.X_test) == tiny_cbf.y_test)
+        assert acc > 0.5
+
+    def test_scale_invariant_via_znorm(self, tiny_cbf):
+        clf = NearestNeighborED().fit(tiny_cbf.X_train, tiny_cbf.y_train)
+        scaled = tiny_cbf.X_test * 100.0 + 7.0
+        np.testing.assert_array_equal(
+            clf.predict(scaled), clf.predict(tiny_cbf.X_test)
+        )
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            NearestNeighborED().predict(np.zeros((1, 4)))
+
+    def test_rejects_mismatched(self, rng):
+        with pytest.raises(ValueError):
+            NearestNeighborED().fit(rng.standard_normal((3, 5)), np.zeros(4))
+
+
+class TestNearestNeighborDTW:
+    def test_fixed_window_skips_selection(self, tiny_gun):
+        clf = NearestNeighborDTW(window_fractions=None, fixed_window=3)
+        clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+        assert clf.best_window_ == 3
+        assert clf.loocv_accuracy_ == {}
+
+    def test_window_selection_records_accuracies(self, tiny_gun):
+        clf = NearestNeighborDTW(window_fractions=(0.0, 0.05))
+        clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+        assert set(clf.loocv_accuracy_) == {0, int(round(0.05 * 120))}
+        assert clf.best_window_ in clf.loocv_accuracy_
+
+    def test_beats_chance_on_warped_data(self, tiny_cbf):
+        clf = NearestNeighborDTW(window_fractions=(0.0, 0.05, 0.1))
+        clf.fit(tiny_cbf.X_train, tiny_cbf.y_train)
+        acc = np.mean(clf.predict(tiny_cbf.X_test) == tiny_cbf.y_test)
+        assert acc > 0.6
+
+    def test_window_zero_equals_euclidean_classifier(self, tiny_gun):
+        dtw0 = NearestNeighborDTW(window_fractions=None, fixed_window=0)
+        dtw0.fit(tiny_gun.X_train, tiny_gun.y_train)
+        ed = NearestNeighborED().fit(tiny_gun.X_train, tiny_gun.y_train)
+        np.testing.assert_array_equal(
+            dtw0.predict(tiny_gun.X_test), ed.predict(tiny_gun.X_test)
+        )
+
+    def test_requires_windows_or_fixed(self, tiny_gun):
+        clf = NearestNeighborDTW(window_fractions=None, fixed_window=None)
+        with pytest.raises(ValueError, match="window"):
+            clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            NearestNeighborDTW().predict(np.zeros((1, 4)))

@@ -1,0 +1,48 @@
+"""LB_Keogh-pruned 1-NN DTW must agree with brute-force search."""
+
+import numpy as np
+
+from repro.baselines.nn import NearestNeighborDTW
+from repro.distance.dtw import dtw_distance
+from repro.sax.znorm import znorm_rows
+
+
+def _brute_force_predict(X_train, y_train, X_test, window):
+    X_train = znorm_rows(X_train)
+    X_test = znorm_rows(X_test)
+    out = []
+    for query in X_test:
+        distances = [dtw_distance(query, row, window) for row in X_train]
+        out.append(y_train[int(np.argmin(distances))])
+    return np.asarray(out)
+
+
+class TestPrunedSearchExactness:
+    def test_predictions_match_brute_force(self, rng):
+        X_train = rng.standard_normal((12, 30))
+        y_train = rng.integers(0, 3, 12)
+        X_test = rng.standard_normal((8, 30))
+        for window in (0, 2, 5):
+            clf = NearestNeighborDTW(window_fractions=None, fixed_window=window)
+            clf.fit(X_train, y_train)
+            fast = clf.predict(X_test)
+            slow = _brute_force_predict(X_train, y_train, X_test, window)
+            np.testing.assert_array_equal(fast, slow)
+
+    def test_loocv_accuracy_matches_brute_force(self, rng):
+        X = rng.standard_normal((10, 25))
+        y = rng.integers(0, 2, 10)
+        window = 3
+        clf = NearestNeighborDTW(window_fractions=(window / 25,))
+        clf.fit(X, y)
+        # Brute-force LOOCV.
+        Xz = znorm_rows(X)
+        correct = 0
+        for i in range(10):
+            distances = [
+                dtw_distance(Xz[i], Xz[j], window) if j != i else np.inf
+                for j in range(10)
+            ]
+            if y[int(np.argmin(distances))] == y[i]:
+                correct += 1
+        assert clf.loocv_accuracy_[window] == correct / 10

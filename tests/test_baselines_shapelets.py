@@ -1,0 +1,111 @@
+import numpy as np
+import pytest
+
+from repro.baselines.fast_shapelets import (
+    FastShapeletsClassifier,
+    entropy,
+    information_gain,
+)
+from repro.baselines.learning_shapelets import LearningShapeletsClassifier
+
+
+class TestInformationGain:
+    def test_entropy_pure(self):
+        assert entropy(np.zeros(5)) == 0.0
+
+    def test_entropy_balanced_binary(self):
+        assert entropy(np.array([0, 0, 1, 1])) == pytest.approx(1.0)
+
+    def test_perfect_split(self):
+        labels = np.array([0, 0, 1, 1])
+        distances = np.array([0.1, 0.2, 0.8, 0.9])
+        assert information_gain(labels, distances, 0.5) == pytest.approx(1.0)
+
+    def test_useless_split(self):
+        labels = np.array([0, 1, 0, 1])
+        distances = np.array([0.1, 0.2, 0.8, 0.9])
+        assert information_gain(labels, distances, 0.5) == 0.0
+
+    def test_degenerate_threshold_zero_gain(self):
+        labels = np.array([0, 1])
+        distances = np.array([0.5, 0.6])
+        assert information_gain(labels, distances, 0.0) == 0.0
+
+
+class TestFastShapelets:
+    def test_learns_gun_point(self, tiny_gun):
+        clf = FastShapeletsClassifier(seed=0).fit(tiny_gun.X_train, tiny_gun.y_train)
+        acc = np.mean(clf.predict(tiny_gun.X_test) == tiny_gun.y_test)
+        assert acc > 0.6
+
+    def test_tree_structure_valid(self, tiny_gun):
+        clf = FastShapeletsClassifier(seed=0).fit(tiny_gun.X_train, tiny_gun.y_train)
+        assert clf.root_ is not None
+        assert clf.depth() <= clf.max_depth
+
+    def test_pure_node_becomes_leaf(self, rng):
+        X = rng.standard_normal((6, 30))
+        y = np.zeros(6)  # single class: tree must not split
+        # FastShapelets needs >= 2 classes to be useful, but a pure
+        # input must still produce a working (leaf-only) classifier.
+        clf = FastShapeletsClassifier(seed=0).fit(X, y)
+        assert clf.root_.is_leaf
+        assert np.array_equal(clf.predict(X), y)
+
+    def test_candidates_scored_counter(self, tiny_gun):
+        clf = FastShapeletsClassifier(seed=0).fit(tiny_gun.X_train, tiny_gun.y_train)
+        assert clf.n_candidates_scored_ > 0
+
+    def test_deterministic_given_seed(self, tiny_gun):
+        a = FastShapeletsClassifier(seed=3).fit(tiny_gun.X_train, tiny_gun.y_train)
+        b = FastShapeletsClassifier(seed=3).fit(tiny_gun.X_train, tiny_gun.y_train)
+        np.testing.assert_array_equal(
+            a.predict(tiny_gun.X_test), b.predict(tiny_gun.X_test)
+        )
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            FastShapeletsClassifier().predict(np.zeros((1, 20)))
+
+
+class TestLearningShapelets:
+    def test_learns_gun_point(self, tiny_gun):
+        clf = LearningShapeletsClassifier(epochs=150, seed=0)
+        clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+        acc = np.mean(clf.predict(tiny_gun.X_test) == tiny_gun.y_test)
+        assert acc > 0.6
+
+    def test_loss_decreases(self, tiny_gun):
+        clf = LearningShapeletsClassifier(epochs=100, seed=0)
+        clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+        losses = clf.loss_history_
+        assert losses[-1] < losses[0]
+
+    def test_transform_shape(self, tiny_gun):
+        clf = LearningShapeletsClassifier(n_shapelets=4, n_scales=2, epochs=30, seed=0)
+        clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+        M = clf.transform(tiny_gun.X_test)
+        expected = sum(s.shape[0] for s in clf.shapelets_)
+        assert M.shape == (tiny_gun.n_test, expected)
+        assert (M >= 0).all()
+
+    def test_soft_min_close_to_hard_min(self, rng):
+        clf = LearningShapeletsClassifier(alpha=-100.0)
+        D = rng.random((3, 2, 10)) * 4
+        M, P = clf._soft_min(D)
+        np.testing.assert_allclose(M, D.min(axis=2), atol=0.05)
+        np.testing.assert_allclose(P.sum(axis=2), 1.0, atol=1e-9)
+
+    def test_rejects_positive_alpha(self):
+        with pytest.raises(ValueError, match="negative"):
+            LearningShapeletsClassifier(alpha=1.0)
+
+    def test_multiclass(self, tiny_cbf):
+        clf = LearningShapeletsClassifier(epochs=150, seed=0)
+        clf.fit(tiny_cbf.X_train, tiny_cbf.y_train)
+        acc = np.mean(clf.predict(tiny_cbf.X_test) == tiny_cbf.y_test)
+        assert acc > 0.55
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            LearningShapeletsClassifier().transform(np.zeros((1, 20)))

@@ -1,0 +1,89 @@
+"""Unit tests for the benchmark harness helpers."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+import harness  # noqa: E402
+
+
+class TestCountWins:
+    def test_single_winner_per_dataset(self):
+        errors = {"A": [0.1, 0.5], "B": [0.2, 0.3]}
+        wins = harness.count_wins(errors)
+        assert wins == {"A": 1, "B": 1}
+
+    def test_ties_count_for_all(self):
+        errors = {"A": [0.1], "B": [0.1], "C": [0.2]}
+        wins = harness.count_wins(errors)
+        assert wins == {"A": 1, "B": 1, "C": 0}
+
+    def test_sweep(self):
+        errors = {"A": [0.0, 0.0, 0.0], "B": [0.1, 0.1, 0.1]}
+        assert harness.count_wins(errors)["A"] == 3
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = harness.format_table(["name", "x"], [["ab", 1.5], ["c", 0.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "1.500" in lines[2]
+
+    def test_nan_renders_dash(self):
+        text = harness.format_table(["name", "x"], [["a", float("nan")]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_first_column_left_rest_right(self):
+        text = harness.format_table(["d", "val"], [["x", 1.0]])
+        row = text.splitlines()[2]
+        assert row.startswith("x")
+
+
+class TestScales:
+    def test_default_scale_small(self, monkeypatch):
+        monkeypatch.delenv("RPM_BENCH_SUITE", raising=False)
+        assert harness.bench_scale() == "small"
+        assert harness.suite_names() == harness.SMALL_SUITE
+
+    def test_scale_env_override(self, monkeypatch):
+        monkeypatch.setenv("RPM_BENCH_SUITE", "tiny")
+        assert harness.suite_names() == harness.TINY_SUITE
+
+    def test_invalid_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("RPM_BENCH_SUITE", "huge")
+        with pytest.raises(ValueError, match="tiny/small/full"):
+            harness.bench_scale()
+
+    def test_suites_nested(self):
+        assert set(harness.TINY_SUITE) <= set(harness.SMALL_SUITE)
+        assert set(harness.SMALL_SUITE) <= set(harness.FULL_SUITE)
+
+
+class TestMakeMethod:
+    @pytest.mark.parametrize("name", harness.METHOD_ORDER)
+    def test_every_method_constructs(self, name, monkeypatch):
+        monkeypatch.setenv("RPM_BENCH_SUITE", "tiny")
+        model = harness.make_method(name)
+        assert hasattr(model, "fit") and hasattr(model, "predict")
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            harness.make_method("GPT")
+
+
+class TestRunCaching:
+    def test_run_caches_per_session(self, monkeypatch):
+        monkeypatch.setenv("RPM_BENCH_SUITE", "tiny")
+        harness._CACHE.clear()
+        first = harness.run("NN-ED", "ItalyPowerSim")
+        second = harness.run("NN-ED", "ItalyPowerSim")
+        assert first is second
+        assert 0.0 <= first.error <= 1.0
+        assert first.total_time == first.train_time + first.test_time
+        harness._CACHE.clear()

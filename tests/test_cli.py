@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "CBF"])
+        assert args.dataset == "CBF"
+        assert args.gamma == 0.2
+
+    def test_evaluate_method_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "CBF", "--method", "nope"])
+
+
+class TestCommands:
+    def test_datasets_lists_registry(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "CBF" in out
+        assert "MedicalAlarmABP" in out
+
+    def test_unknown_dataset_is_an_error(self, capsys):
+        assert main(["evaluate", "NoSuchData", "--window", "10"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_train_save_patterns_classify_roundtrip(self, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        rc = main(
+            ["train", "ItalyPowerSim", "-o", str(model_path), "--window", "12",
+             "--paa", "4", "--alphabet", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "test error" in out
+        assert model_path.exists()
+
+        assert main(["patterns", str(model_path)]) == 0
+        assert "representative patterns" in capsys.readouterr().out
+
+        # classify a small UCR-format file
+        data = tmp_path / "data.txt"
+        from repro.data import load
+
+        ds = load("ItalyPowerSim")
+        rows = ["0 " + " ".join(f"{v:.4f}" for v in ds.X_test[i]) for i in range(3)]
+        data.write_text("\n".join(rows) + "\n")
+        assert main(["classify", str(model_path), str(data)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+
+    def test_evaluate_baseline(self, capsys):
+        rc = main(["evaluate", "ItalyPowerSim", "--method", "NN-ED"])
+        assert rc == 0
+        assert "NN-ED" in capsys.readouterr().out
+
+    def test_evaluate_rpm_fixed_params(self, capsys):
+        rc = main(
+            ["evaluate", "ItalyPowerSim", "--window", "12", "--paa", "4",
+             "--alphabet", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RPM" in out and "error" in out
+
+    def test_motifs_command(self, tmp_path, capsys):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        series = np.sin(2 * np.pi * np.arange(400) / 40) + rng.standard_normal(400) * 0.1
+        data = tmp_path / "long.txt"
+        data.write_text("0 " + " ".join(f"{v:.4f}" for v in series) + "\n")
+        rc = main(["motifs", str(data), "--window", "30", "--top", "2",
+                   "--discords", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "freq=" in out
+        assert "discord [" in out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

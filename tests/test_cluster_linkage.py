@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+from scipy.cluster.hierarchy import fcluster, linkage as scipy_linkage
+from scipy.spatial.distance import squareform
+
+from repro.cluster.linkage import agglomerate, cut_k
+from repro.distance.euclidean import pairwise_euclidean
+
+
+def _random_distance_matrix(rng, n):
+    X = rng.standard_normal((n, 3))
+    return pairwise_euclidean(X)
+
+
+class TestAgglomerate:
+    def test_merge_count(self, rng):
+        D = _random_distance_matrix(rng, 7)
+        link = agglomerate(D)
+        assert link.n == 7
+        assert len(link.merges) == 6
+
+    def test_heights_monotone(self, rng):
+        for method in ("complete", "single", "average"):
+            D = _random_distance_matrix(rng, 10)
+            heights = agglomerate(D, method).heights()
+            assert np.all(np.diff(heights) >= -1e-9)
+
+    def test_matches_scipy_heights(self, rng):
+        for method in ("complete", "single", "average"):
+            D = _random_distance_matrix(rng, 12)
+            ours = agglomerate(D, method).heights()
+            theirs = scipy_linkage(squareform(D, checks=False), method=method)[:, 2]
+            np.testing.assert_allclose(np.sort(ours), np.sort(theirs), atol=1e-9)
+
+    def test_single_point(self):
+        link = agglomerate(np.zeros((1, 1)))
+        assert link.merges == []
+
+    def test_two_points(self):
+        D = np.array([[0.0, 2.5], [2.5, 0.0]])
+        link = agglomerate(D)
+        assert len(link.merges) == 1
+        assert link.merges[0].height == 2.5
+        assert link.merges[0].size == 2
+
+    def test_rejects_asymmetric(self):
+        D = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            agglomerate(D)
+
+    def test_rejects_nonzero_diagonal(self):
+        D = np.array([[1.0, 2.0], [2.0, 1.0]])
+        with pytest.raises(ValueError, match="zero diagonal"):
+            agglomerate(D)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            agglomerate(np.zeros((2, 3)))
+
+    def test_rejects_unknown_method(self, rng):
+        with pytest.raises(ValueError, match="method"):
+            agglomerate(_random_distance_matrix(rng, 3), method="ward")
+
+
+class TestCutK:
+    def test_k_equals_n_gives_singletons(self, rng):
+        D = _random_distance_matrix(rng, 6)
+        labels = cut_k(agglomerate(D), 6)
+        assert np.unique(labels).size == 6
+
+    def test_k_one_gives_single_cluster(self, rng):
+        D = _random_distance_matrix(rng, 6)
+        labels = cut_k(agglomerate(D), 1)
+        assert np.unique(labels).size == 1
+
+    def test_two_well_separated_blobs(self, rng):
+        X = np.vstack([rng.normal(0, 0.1, (5, 2)), rng.normal(10, 0.1, (5, 2))])
+        D = pairwise_euclidean(X)
+        labels = cut_k(agglomerate(D), 2)
+        assert np.unique(labels[:5]).size == 1
+        assert np.unique(labels[5:]).size == 1
+        assert labels[0] != labels[5]
+
+    def test_matches_scipy_partition(self, rng):
+        D = _random_distance_matrix(rng, 15)
+        for k in (2, 3, 5):
+            ours = cut_k(agglomerate(D, "complete"), k)
+            Z = scipy_linkage(squareform(D, checks=False), method="complete")
+            theirs = fcluster(Z, t=k, criterion="maxclust")
+            # Partitions must be identical up to label renaming.
+            mapping = {}
+            for a, b in zip(ours, theirs):
+                mapping.setdefault(a, b)
+                assert mapping[a] == b
+
+    def test_rejects_bad_k(self, rng):
+        link = agglomerate(_random_distance_matrix(rng, 4))
+        with pytest.raises(ValueError, match="k must be"):
+            cut_k(link, 0)
+        with pytest.raises(ValueError, match="k must be"):
+            cut_k(link, 5)

@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+
+from repro.core.candidates import find_candidates, find_class_candidates
+from repro.core.patterns import PatternCandidate
+from repro.sax.discretize import SaxParams
+
+PARAMS = SaxParams(16, 4, 4)
+
+
+def _bump_class(rng, n=8, length=80, pos=30, width=18, sign=1.0):
+    out = []
+    for _ in range(n):
+        series = rng.standard_normal(length) * 0.05
+        p = pos + int(rng.integers(-3, 4))
+        series[p : p + width] += sign * np.hanning(width) * 3.0
+        out.append(series)
+    return out
+
+
+class TestFindClassCandidates:
+    def test_finds_shared_motif(self, rng):
+        instances = _bump_class(rng)
+        candidates = find_class_candidates(instances, "A", PARAMS, gamma=0.3)
+        assert candidates
+        assert all(isinstance(c, PatternCandidate) for c in candidates)
+        assert all(c.label == "A" for c in candidates)
+
+    def test_support_respects_gamma(self, rng):
+        instances = _bump_class(rng, n=10)
+        for candidate in find_class_candidates(instances, 0, PARAMS, gamma=0.5):
+            assert candidate.support >= 5
+
+    def test_occurrence_support_mode(self, rng):
+        instances = _bump_class(rng, n=10)
+        occ = find_class_candidates(
+            instances, 0, PARAMS, gamma=0.4, support_mode="occurrences"
+        )
+        for candidate in occ:
+            assert candidate.frequency >= 4
+
+    def test_candidates_are_znormed(self, rng):
+        instances = _bump_class(rng)
+        for candidate in find_class_candidates(instances, 0, PARAMS, gamma=0.3):
+            assert abs(candidate.values.mean()) < 1e-6
+            assert abs(candidate.values.std() - 1.0) < 1e-6
+
+    def test_medoid_prototype(self, rng):
+        instances = _bump_class(rng)
+        candidates = find_class_candidates(
+            instances, 0, PARAMS, gamma=0.3, prototype="medoid"
+        )
+        assert candidates  # medoids are aligned members, also z-normed
+
+    def test_pattern_length_at_least_window(self, rng):
+        instances = _bump_class(rng)
+        for candidate in find_class_candidates(instances, 0, PARAMS, gamma=0.3):
+            # Aligned to the median occurrence length, never shorter
+            # than the discretization window.
+            assert candidate.length >= PARAMS.window_size
+
+    def test_rejects_bad_gamma(self, rng):
+        with pytest.raises(ValueError, match="gamma"):
+            find_class_candidates(_bump_class(rng, n=3), 0, PARAMS, gamma=0.0)
+
+    def test_rejects_bad_prototype(self, rng):
+        with pytest.raises(ValueError, match="prototype"):
+            find_class_candidates(_bump_class(rng, n=3), 0, PARAMS, prototype="mean")
+
+    def test_rejects_bad_support_mode(self, rng):
+        with pytest.raises(ValueError, match="support_mode"):
+            find_class_candidates(_bump_class(rng, n=3), 0, PARAMS, support_mode="x")
+
+    def test_pure_noise_fewer_candidates_than_structured(self, rng):
+        structured = find_class_candidates(_bump_class(rng, n=8), 0, PARAMS, gamma=0.5)
+        noise = find_class_candidates(
+            [rng.standard_normal(80) for _ in range(8)], 0, PARAMS, gamma=0.5
+        )
+        assert len(noise) <= len(structured) + 2
+
+
+class TestFindCandidates:
+    def test_per_class_labels(self, rng):
+        X = np.array(_bump_class(rng, n=6) + _bump_class(rng, n=6, sign=-1.0))
+        y = np.array([0] * 6 + [1] * 6)
+        candidates = find_candidates(X, y, {0: PARAMS, 1: PARAMS}, gamma=0.3)
+        labels = {c.label for c in candidates}
+        assert labels == {0, 1}
+
+    def test_class_specific_params(self, rng):
+        X = np.array(_bump_class(rng, n=6) + _bump_class(rng, n=6, sign=-1.0))
+        y = np.array([0] * 6 + [1] * 6)
+        params = {0: SaxParams(16, 4, 4), 1: SaxParams(24, 6, 5)}
+        candidates = find_candidates(X, y, params, gamma=0.3)
+        for candidate in candidates:
+            assert candidate.sax_params == params[candidate.label]

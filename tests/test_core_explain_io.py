@@ -1,0 +1,149 @@
+import numpy as np
+import pytest
+
+from repro import RPMClassifier, SaxParams
+from repro.core.explain import (
+    class_profile,
+    explain_prediction,
+    locate_pattern,
+    pattern_coverage,
+)
+from repro.core.io import load_model, save_model
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_gun):
+    clf = RPMClassifier(sax_params=SaxParams(24, 4, 4), seed=0)
+    clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+    return clf
+
+
+class TestLocatePattern:
+    def test_finds_embedded_pattern(self, rng):
+        pattern = np.hanning(10)
+        series = rng.standard_normal(50) * 0.1
+        series[17:27] += pattern * 5
+        loc = locate_pattern(pattern, series)
+        assert loc.position == 17
+        assert loc.distance < 0.5
+
+    def test_accepts_representative_pattern(self, fitted, tiny_gun):
+        loc = locate_pattern(fitted.patterns_[0], tiny_gun.X_train[0])
+        assert loc.label == fitted.patterns_[0].label
+        assert 0 <= loc.position <= tiny_gun.series_length
+
+
+class TestPatternCoverage:
+    def test_margins_positive_on_discriminative_data(self, fitted, tiny_gun):
+        coverage = pattern_coverage(fitted.patterns_, tiny_gun.X_train, tiny_gun.y_train)
+        assert len(coverage) == len(fitted.patterns_)
+        # At least one mined pattern must actually discriminate.
+        assert any(c.margin > 0 for c in coverage)
+
+    def test_own_mean_below_other_mean_mostly(self, fitted, tiny_gun):
+        coverage = pattern_coverage(fitted.patterns_, tiny_gun.X_train, tiny_gun.y_train)
+        positive = sum(1 for c in coverage if c.own_mean < c.other_mean)
+        assert positive >= len(coverage) / 2
+
+    def test_rejects_mismatched_shapes(self, fitted, tiny_gun):
+        with pytest.raises(ValueError, match="disagree"):
+            pattern_coverage(fitted.patterns_, tiny_gun.X_train, tiny_gun.y_train[:3])
+
+
+class TestExplainPrediction:
+    def test_sorted_by_distance(self, fitted, tiny_gun):
+        locations = explain_prediction(fitted, tiny_gun.X_test[0])
+        distances = [loc.distance for loc in locations]
+        assert distances == sorted(distances)
+        assert len(locations) == len(fitted.patterns_)
+
+    def test_requires_fitted(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            explain_prediction(RPMClassifier(), np.zeros(20))
+
+
+class TestClassProfile:
+    def test_mentions_every_class_with_patterns(self, fitted, tiny_gun):
+        text = class_profile(fitted, tiny_gun.X_train, tiny_gun.y_train)
+        for label in {p.label for p in fitted.patterns_}:
+            assert f"class {label!r}" in text
+
+    def test_requires_fitted(self, tiny_gun):
+        with pytest.raises(RuntimeError, match="fit"):
+            class_profile(RPMClassifier(), tiny_gun.X_train, tiny_gun.y_train)
+
+
+class TestModelIO:
+    def test_roundtrip_preserves_predictions(self, fitted, tiny_gun, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(fitted, path)
+        loaded = load_model(path)
+        np.testing.assert_array_equal(
+            loaded.predict(tiny_gun.X_test), fitted.predict(tiny_gun.X_test)
+        )
+
+    def test_roundtrip_preserves_patterns(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(fitted, path)
+        loaded = load_model(path)
+        assert len(loaded.patterns_) == len(fitted.patterns_)
+        for a, b in zip(loaded.patterns_, fitted.patterns_):
+            np.testing.assert_allclose(a.values, b.values)
+            assert a.label == b.label
+            assert a.candidate.frequency == b.candidate.frequency
+
+    def test_roundtrip_preserves_params(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(fitted, path)
+        loaded = load_model(path)
+        assert {k: v.as_tuple() for k, v in loaded.params_by_class_.items()} == {
+            k: v.as_tuple() for k, v in fitted.params_by_class_.items()
+        }
+
+    def test_rotation_invariance_flag_roundtrips(self, tiny_gun, tmp_path):
+        clf = RPMClassifier(
+            sax_params=SaxParams(24, 4, 4), rotation_invariant=True, seed=0
+        )
+        clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+        save_model(clf, tmp_path / "m.npz")
+        assert load_model(tmp_path / "m.npz").rotation_invariant
+
+    def test_unfitted_model_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError, match="unfitted"):
+            save_model(RPMClassifier(), tmp_path / "m.npz")
+
+    def test_bad_format_version_rejected(self, fitted, tmp_path):
+        import json
+
+        import repro.core.io as io_mod
+
+        path = tmp_path / "model.npz"
+        save_model(fitted, path)
+        # Tamper with the version.
+        with np.load(path) as archive:
+            arrays = dict(archive)
+        meta = json.loads(bytes(arrays["meta_json"]).decode())
+        meta["format_version"] = 999
+        arrays["meta_json"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="unsupported model format"):
+            io_mod.load_model(path)
+
+
+class TestStringLabelIO:
+    def test_roundtrip_with_string_labels(self, tmp_path, rng):
+        from repro import RPMClassifier, SaxParams
+
+        X = np.vstack(
+            [
+                np.sin(np.linspace(0, 6, 50)) + rng.standard_normal((6, 50)) * 0.1,
+                np.cos(np.linspace(0, 9, 50)) + rng.standard_normal((6, 50)) * 0.1,
+            ]
+        )
+        y = np.array(["sine"] * 6 + ["cosine"] * 6)
+        clf = RPMClassifier(sax_params=SaxParams(14, 4, 4), seed=0)
+        clf.fit(X, y)
+        save_model(clf, tmp_path / "s.npz")
+        loaded = load_model(tmp_path / "s.npz")
+        np.testing.assert_array_equal(loaded.predict(X), clf.predict(X))
+        assert set(loaded.classes_) == {"sine", "cosine"}

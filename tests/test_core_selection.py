@@ -1,0 +1,144 @@
+import numpy as np
+import pytest
+
+from repro.core.patterns import PatternCandidate
+from repro.core.selection import (
+    SelectionResult,
+    compute_tau,
+    find_distinct,
+    remove_similar,
+)
+from repro.sax.discretize import SaxParams
+
+PARAMS = SaxParams(8, 4, 4)
+
+
+def _candidate(values, label=0, frequency=2, within=()):
+    return PatternCandidate(
+        values=np.asarray(values, dtype=float),
+        label=label,
+        frequency=frequency,
+        support=frequency,
+        rule_id=1,
+        words=("ab",),
+        sax_params=PARAMS,
+        within_distances=np.asarray(within, dtype=float),
+    )
+
+
+class TestComputeTau:
+    def test_percentile_of_pooled_distances(self):
+        candidates = [
+            _candidate(np.arange(5.0), within=[1.0, 2.0, 3.0]),
+            _candidate(np.arange(5.0), within=[4.0, 5.0]),
+        ]
+        # pooled = [1,2,3,4,5]; 30th percentile
+        assert compute_tau(candidates, 30) == pytest.approx(np.percentile([1, 2, 3, 4, 5], 30))
+
+    def test_no_distances_gives_zero(self):
+        assert compute_tau([_candidate(np.arange(4.0))]) == 0.0
+
+    def test_monotone_in_percentile(self):
+        candidates = [_candidate(np.arange(5.0), within=np.linspace(0.1, 3, 20))]
+        taus = [compute_tau(candidates, p) for p in (10, 30, 50, 70, 90)]
+        assert taus == sorted(taus)
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(ValueError, match="percentile"):
+            compute_tau([], 150)
+
+
+class TestRemoveSimilar:
+    def test_keeps_more_frequent_of_similar_pair(self, rng):
+        shape = np.sin(np.linspace(0, 3, 20))
+        a = _candidate(shape, frequency=10)
+        b = _candidate(shape + rng.standard_normal(20) * 0.01, frequency=3)
+        kept = remove_similar([b, a], tau=1.0)
+        assert len(kept) == 1
+        assert kept[0].frequency == 10
+
+    def test_dissimilar_patterns_both_kept(self):
+        a = _candidate(np.sin(np.linspace(0, 3, 20)), frequency=5)
+        b = _candidate(np.linspace(-1, 1, 20), frequency=4)
+        kept = remove_similar([a, b], tau=0.5)
+        assert len(kept) == 2
+
+    def test_zero_tau_keeps_everything(self, rng):
+        candidates = [_candidate(rng.standard_normal(15), frequency=i) for i in range(5)]
+        assert len(remove_similar(candidates, 0.0)) == 5
+
+    def test_different_length_comparison(self, rng):
+        long_shape = np.sin(np.linspace(0, 4, 40))
+        short_shape = long_shape[10:28]  # contained in the long one
+        a = _candidate(long_shape, frequency=9)
+        b = _candidate(short_shape, frequency=2)
+        kept = remove_similar([a, b], tau=1.0)
+        assert len(kept) == 1 and kept[0].frequency == 9
+
+    def test_empty_input(self):
+        assert remove_similar([], 1.0) == []
+
+
+def _feature_dataset(rng, n_per_class=12, length=60):
+    """Two classes with distinct embedded bumps."""
+    X, y = [], []
+    for label, sign in ((0, 1.0), (1, -1.0)):
+        for _ in range(n_per_class):
+            series = rng.standard_normal(length) * 0.1
+            pos = 15 + int(rng.integers(-3, 4))
+            series[pos : pos + 16] += sign * np.hanning(16) * 3
+            X.append(series)
+            y.append(label)
+    return np.array(X), np.array(y)
+
+
+class TestFindDistinct:
+    def _candidates(self, rng):
+        up = np.hanning(16) * 3
+        down = -np.hanning(16) * 3
+        return [
+            _candidate(up, label=0, frequency=8, within=[0.3, 0.5, 0.7]),
+            _candidate(down, label=1, frequency=8, within=[0.4, 0.6]),
+            _candidate(rng.standard_normal(16), label=0, frequency=2, within=[1.0]),
+        ]
+
+    def test_returns_selection_result(self, rng):
+        X, y = _feature_dataset(rng)
+        result = find_distinct(X, y, self._candidates(rng))
+        assert isinstance(result, SelectionResult)
+        assert result.patterns
+        assert result.train_features.shape == (X.shape[0], len(result.patterns))
+
+    def test_discriminative_patterns_survive(self, rng):
+        X, y = _feature_dataset(rng)
+        result = find_distinct(X, y, self._candidates(rng))
+        labels = {p.label for p in result.patterns}
+        # At least one of the two class-defining bumps must be kept.
+        assert labels & {0, 1}
+
+    def test_feature_indices_sequential(self, rng):
+        X, y = _feature_dataset(rng)
+        result = find_distinct(X, y, self._candidates(rng))
+        assert [p.feature_index for p in result.patterns] == list(
+            range(len(result.patterns))
+        )
+
+    def test_counts_recorded(self, rng):
+        X, y = _feature_dataset(rng)
+        result = find_distinct(X, y, self._candidates(rng))
+        assert result.n_candidates_in == 3
+        assert 1 <= result.n_after_dedup <= 3
+
+    def test_candidate_cap_applies(self, rng):
+        X, y = _feature_dataset(rng, n_per_class=6)
+        candidates = [
+            _candidate(rng.standard_normal(16), label=i % 2, frequency=i)
+            for i in range(40)
+        ]
+        result = find_distinct(X, y, candidates, max_candidates=10)
+        assert result.n_after_dedup <= 10
+
+    def test_rejects_empty_candidates(self, rng):
+        X, y = _feature_dataset(rng, n_per_class=3)
+        with pytest.raises(ValueError, match="no candidates"):
+            find_distinct(X, y, [])

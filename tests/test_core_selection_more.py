@@ -1,0 +1,101 @@
+"""Additional Algorithm 2 coverage: τ percentiles, CFS interplay."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import find_candidates
+from repro.core.selection import compute_tau, find_distinct
+from repro.sax.discretize import SaxParams
+
+PARAMS = SaxParams(16, 4, 4)
+
+
+def _two_class_data(rng, n=10, length=80):
+    X, y = [], []
+    for label, builder in (
+        (0, lambda: _with_bump(rng, length, np.hanning(18) * 3)),
+        (1, lambda: _with_bump(rng, length, -np.hanning(18) * 3)),
+    ):
+        for _ in range(n):
+            X.append(builder())
+            y.append(label)
+    return np.array(X), np.array(y)
+
+
+def _with_bump(rng, length, bump):
+    series = rng.standard_normal(length) * 0.08
+    pos = 25 + int(rng.integers(-4, 5))
+    series[pos : pos + bump.size] += bump
+    return series
+
+
+@pytest.fixture(scope="module")
+def mined():
+    rng = np.random.default_rng(77)
+    X, y = _two_class_data(rng)
+    candidates = find_candidates(X, y, {0: PARAMS, 1: PARAMS}, gamma=0.3)
+    assert candidates
+    return X, y, candidates
+
+
+class TestTauSweep:
+    def test_higher_tau_prunes_at_least_as_much(self, mined):
+        X, y, candidates = mined
+        sizes = []
+        for pct in (10, 30, 50, 70, 90):
+            result = find_distinct(X, y, candidates, tau_percentile=pct)
+            sizes.append(result.n_after_dedup)
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_tau_zero_percentile_below_ninety(self, mined):
+        _, _, candidates = mined
+        assert compute_tau(candidates, 10) <= compute_tau(candidates, 90)
+
+    def test_selection_never_empty_across_percentiles(self, mined):
+        X, y, candidates = mined
+        for pct in (10, 50, 90):
+            result = find_distinct(X, y, candidates, tau_percentile=pct)
+            assert result.patterns
+
+
+class TestSelectionSemantics:
+    def test_selected_patterns_come_from_dedup_pool(self, mined):
+        X, y, candidates = mined
+        result = find_distinct(X, y, candidates)
+        assert result.n_after_dedup >= len(result.patterns)
+        # Every selected pattern's values must be one of the inputs.
+        input_values = [c.values for c in candidates]
+        for pattern in result.patterns:
+            assert any(
+                value.shape == pattern.values.shape and np.allclose(value, pattern.values)
+                for value in input_values
+            )
+
+    def test_train_features_match_selection_count(self, mined):
+        X, y, candidates = mined
+        result = find_distinct(X, y, candidates)
+        assert result.train_features.shape == (X.shape[0], len(result.patterns))
+
+    def test_feature_space_discriminates(self, mined):
+        X, y, candidates = mined
+        result = find_distinct(X, y, candidates)
+        # Some feature must differ meaningfully between the classes.
+        F = result.train_features
+        gaps = [
+            abs(F[y == 0, k].mean() - F[y == 1, k].mean())
+            for k in range(F.shape[1])
+        ]
+        assert max(gaps) > 0.5
+
+    def test_cfs_merit_recorded(self, mined):
+        X, y, candidates = mined
+        result = find_distinct(X, y, candidates)
+        assert result.cfs_merit > 0.0
+
+    def test_rotation_invariant_features_smaller_or_equal(self, mined):
+        X, y, candidates = mined
+        plain = find_distinct(X, y, candidates)
+        invariant = find_distinct(X, y, candidates, rotation_invariant=True)
+        # Not directly comparable column-to-column (CFS may pick different
+        # patterns), but both must produce working selections.
+        assert plain.patterns and invariant.patterns

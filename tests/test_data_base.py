@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.data.base import Dataset
+
+
+def _make(n_tr=4, n_te=3, m=10, k=2):
+    rng = np.random.default_rng(0)
+    return Dataset(
+        name="toy",
+        X_train=rng.standard_normal((n_tr, m)),
+        y_train=np.arange(n_tr) % k,
+        X_test=rng.standard_normal((n_te, m)),
+        y_test=np.arange(n_te) % k,
+    )
+
+
+class TestDataset:
+    def test_properties(self):
+        ds = _make()
+        assert ds.n_train == 4
+        assert ds.n_test == 3
+        assert ds.series_length == 10
+        assert ds.n_classes == 2
+
+    def test_classes_sorted(self):
+        ds = _make(k=3, n_tr=6, n_te=6)
+        np.testing.assert_array_equal(ds.classes(), [0, 1, 2])
+
+    def test_class_instances(self):
+        ds = _make()
+        members = ds.class_instances(0)
+        assert members.shape[0] == 2
+
+    def test_summary_row_contains_name(self):
+        assert "toy" in _make().summary_row()
+
+    def test_rejects_length_mismatch(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="lengths differ"):
+            Dataset(
+                name="bad",
+                X_train=rng.standard_normal((2, 5)),
+                y_train=np.zeros(2),
+                X_test=rng.standard_normal((2, 6)),
+                y_test=np.zeros(2),
+            )
+
+    def test_rejects_label_count_mismatch(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="mismatch"):
+            Dataset(
+                name="bad",
+                X_train=rng.standard_normal((2, 5)),
+                y_train=np.zeros(3),
+                X_test=rng.standard_normal((2, 5)),
+                y_test=np.zeros(2),
+            )
+
+    def test_rejects_1d_series(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Dataset(
+                name="bad",
+                X_train=np.zeros(5),
+                y_train=np.zeros(5),
+                X_test=np.zeros((1, 5)),
+                y_test=np.zeros(1),
+            )

@@ -1,0 +1,126 @@
+import numpy as np
+import pytest
+
+from repro.data.ecg import (
+    abp_pulse,
+    ecg200_sim,
+    ecg_five_days_sim,
+    heartbeat,
+    medical_alarm_abp,
+)
+from repro.data.rotate import (
+    halfway_rotation,
+    rotate_rows,
+    rotate_series,
+    rotate_test_split,
+)
+from repro.data.spectra import coffee_sim, gaussian_band, olive_oil_sim
+
+
+class TestHeartbeat:
+    def test_r_peak_dominates(self, rng):
+        beat = heartbeat(rng, 120, noise=0.0)
+        peak = np.argmax(beat)
+        assert 0.3 * 120 < peak < 0.45 * 120
+
+    def test_st_elevation_raises_segment(self, rng):
+        flat = heartbeat(np.random.default_rng(1), 150, st_elevation=0.0, noise=0.0)
+        raised = heartbeat(np.random.default_rng(1), 150, st_elevation=0.5, noise=0.0)
+        st = slice(int(0.44 * 150), int(0.56 * 150))
+        assert raised[st].mean() > flat[st].mean() + 0.1
+
+    def test_datasets_have_expected_shapes(self):
+        ds = ecg_five_days_sim(n_train_per_class=3, n_test_per_class=4)
+        assert ds.n_classes == 2 and ds.n_train == 6 and ds.n_test == 8
+        ds2 = ecg200_sim(n_train_per_class=3, n_test_per_class=3)
+        assert ds2.n_classes == 2
+
+
+class TestAbp:
+    def test_pulse_range(self):
+        t = np.linspace(0, 1, 100, endpoint=False)
+        pulse = abp_pulse(t, systolic=120, diastolic=80)
+        assert pulse.min() >= 75
+        assert 100 < pulse.max() <= 125
+
+    def test_binary_alarm_dataset(self):
+        ds = medical_alarm_abp(n_train_per_class=4, n_test_per_class=4, length=200)
+        assert ds.n_classes == 2
+        assert ds.series_length == 200
+
+    def test_multiclass_variant(self):
+        ds = medical_alarm_abp(
+            n_train_per_class=3, n_test_per_class=3, multiclass=True
+        )
+        assert ds.n_classes == 4
+        assert ds.name == "MedicalAlarmABP4"
+
+    def test_hypotension_runs_lower(self):
+        ds = medical_alarm_abp(
+            n_train_per_class=10, n_test_per_class=1, multiclass=True, seed=5
+        )
+        normal = ds.X_train[ds.y_train == 0].mean()
+        hypo = ds.X_train[ds.y_train == 1].mean()
+        assert hypo < normal - 10
+
+
+class TestSpectra:
+    def test_gaussian_band_peak(self):
+        grid = np.linspace(0, 1, 101)
+        band = gaussian_band(grid, 0.5, 0.05, 2.0)
+        assert abs(band.max() - 2.0) < 1e-9
+        assert np.argmax(band) == 50
+
+    def test_coffee_classes_differ_at_caffeine_band(self):
+        ds = coffee_sim(n_train_per_class=10, n_test_per_class=1, seed=3)
+        grid_idx = int(0.60 * ds.series_length)
+        arabica = ds.X_train[ds.y_train == 0][:, grid_idx].mean()
+        robusta = ds.X_train[ds.y_train == 1][:, grid_idx].mean()
+        assert robusta > arabica + 0.2
+
+    def test_olive_oil_four_classes(self):
+        ds = olive_oil_sim(n_train_per_class=2, n_test_per_class=2)
+        assert ds.n_classes == 4
+
+
+class TestRotate:
+    def test_rotate_series_swaps_sections(self):
+        out = rotate_series(np.array([1.0, 2.0, 3.0, 4.0, 5.0]), 2)
+        np.testing.assert_array_equal(out, [3, 4, 5, 1, 2])
+
+    def test_rotation_is_cyclic_modulo_length(self):
+        series = np.arange(6.0)
+        np.testing.assert_array_equal(rotate_series(series, 6), series)
+        np.testing.assert_array_equal(rotate_series(series, 8), rotate_series(series, 2))
+
+    def test_double_halfway_rotation_identity_even_length(self):
+        series = np.arange(10.0)
+        np.testing.assert_array_equal(halfway_rotation(halfway_rotation(series)), series)
+
+    def test_rotate_preserves_multiset(self, rng):
+        series = rng.standard_normal(17)
+        out = rotate_series(series, 5)
+        np.testing.assert_allclose(np.sort(out), np.sort(series))
+
+    def test_rotate_rows_returns_cuts(self, rng):
+        X = rng.standard_normal((4, 12))
+        rotated, cuts = rotate_rows(X, rng=0)
+        assert rotated.shape == X.shape
+        assert cuts.shape == (4,)
+        for i, cut in enumerate(cuts):
+            np.testing.assert_array_equal(rotated[i], rotate_series(X[i], int(cut)))
+
+    def test_rotate_test_split_leaves_train(self):
+        ds = coffee_sim(n_train_per_class=3, n_test_per_class=3)
+        rotated = rotate_test_split(ds, seed=1)
+        np.testing.assert_array_equal(rotated.X_train, ds.X_train)
+        assert not np.array_equal(rotated.X_test, ds.X_test)
+        assert rotated.name.endswith("-rotated")
+
+    def test_rejects_2d_series(self):
+        with pytest.raises(ValueError, match="1-D"):
+            rotate_series(np.zeros((2, 3)), 1)
+
+    def test_rotate_rows_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            rotate_rows(np.zeros(5))

@@ -1,0 +1,130 @@
+import numpy as np
+import pytest
+
+from repro.data import registry
+from repro.data.synthetic import cbf, random_warp, smooth, synthetic_control, two_patterns
+
+
+class TestHelpers:
+    def test_smooth_preserves_constant(self):
+        out = smooth(np.full(20, 3.0), 5)
+        np.testing.assert_allclose(out, 3.0, atol=1e-9)
+
+    def test_smooth_kernel_one_is_identity(self, rng):
+        series = rng.standard_normal(15)
+        np.testing.assert_array_equal(smooth(series, 1), series)
+
+    def test_smooth_reduces_variance(self, rng):
+        series = rng.standard_normal(200)
+        assert smooth(series, 7).std() < series.std()
+
+    def test_random_warp_preserves_length_and_endpoints_roughly(self, rng):
+        series = np.sin(np.linspace(0, 6, 100))
+        warped = random_warp(series, rng, 0.05)
+        assert warped.size == 100
+        assert abs(warped[0] - series[0]) < 0.3
+
+    def test_random_warp_small_strength_near_identity(self, rng):
+        series = np.sin(np.linspace(0, 6, 100))
+        warped = random_warp(series, rng, 1e-6)
+        np.testing.assert_allclose(warped, series, atol=1e-3)
+
+
+class TestCbf:
+    def test_shapes(self):
+        ds = cbf(n_train_per_class=5, n_test_per_class=7, length=100, seed=0)
+        assert ds.X_train.shape == (15, 100)
+        assert ds.X_test.shape == (21, 100)
+        assert ds.n_classes == 3
+
+    def test_deterministic_given_seed(self):
+        a = cbf(seed=5, n_train_per_class=3, n_test_per_class=3)
+        b = cbf(seed=5, n_train_per_class=3, n_test_per_class=3)
+        np.testing.assert_array_equal(a.X_train, b.X_train)
+
+    def test_different_seeds_differ(self):
+        a = cbf(seed=1, n_train_per_class=3, n_test_per_class=3)
+        b = cbf(seed=2, n_train_per_class=3, n_test_per_class=3)
+        assert not np.array_equal(a.X_train, b.X_train)
+
+    def test_cylinder_has_plateau(self):
+        ds = cbf(n_train_per_class=20, n_test_per_class=1, seed=3)
+        cylinders = ds.X_train[ds.y_train == 0]
+        # Mean cylinder has a flat elevated mid-section.
+        mean = cylinders.mean(axis=0)
+        assert mean[40:60].mean() > mean[:10].mean() + 2
+
+    def test_bell_rises_funnel_falls(self):
+        ds = cbf(n_train_per_class=30, n_test_per_class=1, seed=4)
+        bell = ds.X_train[ds.y_train == 1].mean(axis=0)
+        funnel = ds.X_train[ds.y_train == 2].mean(axis=0)
+        # Bell ramps up towards the end of the event; funnel starts high.
+        assert bell[70:90].mean() > bell[20:35].mean()
+        assert funnel[20:40].mean() > funnel[90:110].mean()
+
+
+class TestSyntheticControl:
+    def test_six_classes(self):
+        ds = synthetic_control(n_train_per_class=3, n_test_per_class=3)
+        assert ds.n_classes == 6
+
+    def test_trends_have_slope(self):
+        ds = synthetic_control(n_train_per_class=10, n_test_per_class=1, seed=9)
+        t = np.arange(ds.series_length)
+        inc = ds.X_train[ds.y_train == 2]
+        dec = ds.X_train[ds.y_train == 3]
+        for row in inc:
+            assert np.polyfit(t, row, 1)[0] > 0.05
+        for row in dec:
+            assert np.polyfit(t, row, 1)[0] < -0.05
+
+    def test_shifts_have_level_change(self):
+        ds = synthetic_control(n_train_per_class=10, n_test_per_class=1, seed=9)
+        up = ds.X_train[ds.y_train == 4]
+        assert (up[:, -10:].mean(axis=1) > up[:, :10].mean(axis=1) + 3).all()
+
+
+class TestTwoPatterns:
+    def test_four_classes(self):
+        ds = two_patterns(n_train_per_class=4, n_test_per_class=4)
+        assert ds.n_classes == 4
+
+    def test_class_means_differ(self):
+        ds = two_patterns(n_train_per_class=20, n_test_per_class=1, seed=11)
+        means = [ds.X_train[ds.y_train == k].mean(axis=0) for k in range(4)]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert np.abs(means[i] - means[j]).max() > 1.0
+
+
+class TestRegistry:
+    def test_every_generator_loads(self):
+        for name in registry.GENERATORS:
+            ds = registry.load(name)
+            assert ds.n_train > 0 and ds.n_test > 0
+            assert np.isfinite(ds.X_train).all()
+            assert np.isfinite(ds.X_test).all()
+
+    def test_suite_subset_of_generators(self):
+        assert set(registry.SUITE) <= set(registry.GENERATORS)
+        assert set(registry.ROTATION_SUITE) <= set(registry.GENERATORS)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            registry.load("DoesNotExist")
+
+    def test_load_is_deterministic(self):
+        a = registry.load("CBF")
+        b = registry.load("CBF")
+        np.testing.assert_array_equal(a.X_train, b.X_train)
+
+    def test_load_suite_returns_all(self):
+        suite = registry.load_suite(("CBF", "SyntheticControl"))
+        assert [d.name for d in suite] == ["CBF", "SyntheticControl"]
+
+    def test_ucr_root_preferred(self, tmp_path, monkeypatch):
+        (tmp_path / "CBF_TRAIN").write_text("1 0.0 1.0\n2 1.0 0.0\n")
+        (tmp_path / "CBF_TEST").write_text("1 0.5 0.5\n")
+        monkeypatch.setenv("RPM_UCR_ROOT", str(tmp_path))
+        ds = registry.load("CBF")
+        assert ds.series_length == 2  # came from the fake archive

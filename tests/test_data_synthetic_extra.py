@@ -1,0 +1,82 @@
+import numpy as np
+import pytest
+
+from repro.data import EXTENDED_SUITE, load
+from repro.data.synthetic_extra import (
+    adiac_sim,
+    beef_sim,
+    chlorine_sim,
+    diatom_sim,
+    fish_sim,
+    haptics_sim,
+    mallat_sim,
+    sony_robot_sim,
+    symbols_sim,
+    yoga_sim,
+)
+from repro.sax.znorm import znorm_rows
+
+
+def _nn_ed_error(ds) -> float:
+    tr = znorm_rows(ds.X_train)
+    te = znorm_rows(ds.X_test)
+    d2 = ((te[:, None, :] - tr[None, :, :]) ** 2).sum(-1)
+    return float((ds.y_train[np.argmin(d2, axis=1)] != ds.y_test).mean())
+
+
+class TestExtendedGenerators:
+    @pytest.mark.parametrize(
+        "factory,classes",
+        [
+            (adiac_sim, 6),
+            (beef_sim, 5),
+            (fish_sim, 7),
+            (mallat_sim, 8),
+            (symbols_sim, 6),
+            (haptics_sim, 5),
+            (yoga_sim, 2),
+            (sony_robot_sim, 2),
+            (diatom_sim, 4),
+            (chlorine_sim, 3),
+        ],
+    )
+    def test_shapes_and_finiteness(self, factory, classes):
+        ds = factory(n_train_per_class=3, n_test_per_class=3)
+        assert ds.n_classes == classes
+        assert np.isfinite(ds.X_train).all()
+        assert np.isfinite(ds.X_test).all()
+        assert ds.n_train == 3 * classes
+
+    def test_registry_covers_extended_suite(self):
+        for name in EXTENDED_SUITE:
+            ds = load(name)
+            assert ds.n_train > 0
+
+    def test_deterministic(self):
+        a = load("FishSim")
+        b = load("FishSim")
+        np.testing.assert_array_equal(a.X_train, b.X_train)
+
+    def test_all_learnable_above_chance(self):
+        # A 1NN-ED sanity floor: each dataset must carry signal (error
+        # clearly below chance), while none needs to be trivial.
+        for name in EXTENDED_SUITE:
+            ds = load(name)
+            chance = 1.0 - 1.0 / ds.n_classes
+            assert _nn_ed_error(ds) < chance - 0.05, name
+
+    def test_difficulty_spread(self):
+        # The suite should mix easy and hard datasets like UCR does.
+        errors = [_nn_ed_error(load(name)) for name in EXTENDED_SUITE]
+        assert min(errors) < 0.05
+        assert max(errors) > 0.15
+
+    def test_yoga_variant_limb_region_differs(self):
+        ds = yoga_sim(n_train_per_class=20, n_test_per_class=1, seed=46)
+        base = ds.X_train[ds.y_train == 0].mean(axis=0)
+        variant = ds.X_train[ds.y_train == 1].mean(axis=0)
+        pos = int(0.62 * ds.series_length)
+        width = int(0.1 * ds.series_length)
+        region_delta = np.abs(variant[pos : pos + width] - base[pos : pos + width]).mean()
+        elsewhere_delta = np.abs(variant[:pos] - base[:pos]).mean()
+        assert region_delta > elsewhere_delta

@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.data.ucr import available_ucr_datasets, load_ucr_dataset, load_ucr_file
+
+
+def _write_split(path, rows):
+    with open(path, "w") as handle:
+        for row in rows:
+            handle.write(" ".join(str(v) for v in row) + "\n")
+
+
+class TestLoadUcrFile:
+    def test_whitespace_format(self, tmp_path):
+        path = tmp_path / "data.txt"
+        _write_split(path, [[1, 0.5, 0.6, 0.7], [2, 1.5, 1.6, 1.7]])
+        X, y = load_ucr_file(path)
+        assert X.shape == (2, 3)
+        np.testing.assert_array_equal(y, [1, 2])
+        assert y.dtype.kind == "i"
+
+    def test_comma_format(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1,0.1,0.2\n2,0.3,0.4\n")
+        X, y = load_ucr_file(path)
+        assert X.shape == (2, 2)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1 0.1 0.2\n\n2 0.3 0.4\n\n")
+        X, _ = load_ucr_file(path)
+        assert X.shape == (2, 2)
+
+    def test_float_labels_preserved(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1.5 0.1\n2.5 0.2\n")
+        _, y = load_ucr_file(path)
+        assert y.dtype.kind == "f"
+
+    def test_rejects_ragged(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1 0.1 0.2\n2 0.3\n")
+        with pytest.raises(ValueError, match="ragged"):
+            load_ucr_file(path)
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1 abc\n")
+        with pytest.raises(ValueError, match="unparsable"):
+            load_ucr_file(path)
+
+    def test_rejects_empty(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_ucr_file(path)
+
+    def test_rejects_label_only_rows(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1\n2\n")
+        with pytest.raises(ValueError, match="label and at least one"):
+            load_ucr_file(path)
+
+
+class TestLoadUcrDataset:
+    def _archive(self, tmp_path, name="Toy"):
+        _write_split(tmp_path / f"{name}_TRAIN", [[1, 0.1, 0.2], [2, 0.3, 0.4]])
+        _write_split(tmp_path / f"{name}_TEST", [[1, 0.5, 0.6]])
+        return tmp_path
+
+    def test_flat_layout(self, tmp_path):
+        root = self._archive(tmp_path)
+        ds = load_ucr_dataset("Toy", root)
+        assert ds.n_train == 2 and ds.n_test == 1
+        assert ds.name == "Toy"
+
+    def test_directory_layout(self, tmp_path):
+        sub = tmp_path / "Toy"
+        sub.mkdir()
+        self._archive(sub)
+        ds = load_ucr_dataset("Toy", tmp_path)
+        assert ds.n_train == 2
+
+    def test_missing_dataset(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no TRAIN file"):
+            load_ucr_dataset("Nope", tmp_path)
+
+    def test_env_var_fallback(self, tmp_path, monkeypatch):
+        self._archive(tmp_path)
+        monkeypatch.setenv("RPM_UCR_ROOT", str(tmp_path))
+        ds = load_ucr_dataset("Toy")
+        assert ds.n_train == 2
+
+    def test_no_root_at_all(self, monkeypatch):
+        monkeypatch.delenv("RPM_UCR_ROOT", raising=False)
+        with pytest.raises(FileNotFoundError, match="RPM_UCR_ROOT"):
+            load_ucr_dataset("Toy")
+
+
+class TestAvailable:
+    def test_lists_complete_datasets_only(self, tmp_path):
+        _write_split(tmp_path / "A_TRAIN", [[1, 0.1]])
+        _write_split(tmp_path / "A_TEST", [[1, 0.1]])
+        _write_split(tmp_path / "B_TRAIN", [[1, 0.1]])  # no TEST
+        assert available_ucr_datasets(tmp_path) == ["A"]
+
+    def test_empty_when_unset(self, monkeypatch):
+        monkeypatch.delenv("RPM_UCR_ROOT", raising=False)
+        assert available_ucr_datasets() == []
+
+    def test_missing_root_dir(self, tmp_path):
+        assert available_ucr_datasets(tmp_path / "nothing") == []

@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.distance.euclidean import (
+    euclidean,
+    euclidean_early_abandon,
+    pairwise_euclidean,
+    squared_euclidean,
+    znormed_euclidean,
+)
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        assert euclidean(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_zero_for_identical(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert euclidean(a, a) == 0.0
+
+    def test_symmetry(self, rng):
+        a, b = rng.standard_normal(10), rng.standard_normal(10)
+        assert euclidean(a, b) == euclidean(b, a)
+
+    def test_triangle_inequality(self, rng):
+        for _ in range(20):
+            a, b, c = (rng.standard_normal(8) for _ in range(3))
+            assert euclidean(a, c) <= euclidean(a, b) + euclidean(b, c) + 1e-12
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            euclidean(np.zeros(3), np.zeros(4))
+
+    def test_squared_is_square(self, rng):
+        a, b = rng.standard_normal(6), rng.standard_normal(6)
+        assert abs(squared_euclidean(a, b) - euclidean(a, b) ** 2) < 1e-12
+
+
+class TestZnormedEuclidean:
+    def test_offset_scale_invariance(self, rng):
+        a, b = rng.standard_normal(12), rng.standard_normal(12)
+        assert abs(znormed_euclidean(a, b) - znormed_euclidean(a * 5 + 2, b)) < 1e-9
+
+    def test_flat_vs_flat_is_zero(self):
+        assert znormed_euclidean(np.full(5, 1.0), np.full(5, 9.0)) == 0.0
+
+
+class TestEarlyAbandon:
+    def test_exact_when_under_cutoff(self, rng):
+        a, b = rng.standard_normal(20), rng.standard_normal(20)
+        d = euclidean(a, b)
+        assert abs(euclidean_early_abandon(a, b, d + 1.0) - d) < 1e-12
+
+    def test_inf_when_over_cutoff(self, rng):
+        a, b = rng.standard_normal(64), rng.standard_normal(64) + 10
+        assert euclidean_early_abandon(a, b, 0.5) == float("inf")
+
+    def test_boundary_cutoff(self):
+        a, b = np.zeros(4), np.ones(4)  # distance 2
+        assert euclidean_early_abandon(a, b, 2.0000001) == pytest.approx(2.0)
+
+
+class TestPairwise:
+    def test_matches_pairwise_loop(self, rng):
+        X = rng.standard_normal((7, 9))
+        D = pairwise_euclidean(X)
+        for i in range(7):
+            for j in range(7):
+                assert abs(D[i, j] - euclidean(X[i], X[j])) < 1e-9
+
+    def test_zero_diagonal(self, rng):
+        D = pairwise_euclidean(rng.standard_normal((5, 6)))
+        assert np.array_equal(np.diag(D), np.zeros(5))
+
+    def test_symmetric(self, rng):
+        D = pairwise_euclidean(rng.standard_normal((6, 4)))
+        np.testing.assert_allclose(D, D.T, atol=1e-12)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            pairwise_euclidean(np.zeros(4))

@@ -1,0 +1,137 @@
+import numpy as np
+import pytest
+
+from repro.baselines import NearestNeighborED
+from repro.data import cbf
+from repro.data.noise import (
+    CORRUPTIONS,
+    add_baseline_wander,
+    add_dropout,
+    add_gaussian_noise,
+    add_spikes,
+    corrupt_test_split,
+)
+from repro.evaluation import ComparisonTable, compare, evaluate
+
+
+class _MajorityClassifier:
+    """Degenerate but deterministic test double."""
+
+    def fit(self, X, y):
+        labels, counts = np.unique(y, return_counts=True)
+        self._label = labels[np.argmax(counts)]
+        return self
+
+    def predict(self, X):
+        return np.full(np.asarray(X).shape[0], self._label)
+
+
+@pytest.fixture(scope="module")
+def small_cbf():
+    return cbf(n_train_per_class=6, n_test_per_class=8, length=64, seed=3)
+
+
+class TestEvaluate:
+    def test_returns_result_with_times(self, small_cbf):
+        result = evaluate(NearestNeighborED, small_cbf)
+        assert result.dataset == "CBF"
+        assert 0.0 <= result.error <= 1.0
+        assert result.total_time == result.train_time + result.test_time
+
+    def test_custom_name(self, small_cbf):
+        result = evaluate(_MajorityClassifier, small_cbf, name="majority")
+        assert result.method == "majority"
+        # Majority on 3 balanced classes: error 2/3.
+        assert result.error == pytest.approx(2 / 3)
+
+
+class TestCompare:
+    def test_table_structure(self, small_cbf):
+        table = compare(
+            {"1NN": NearestNeighborED, "majority": _MajorityClassifier}, [small_cbf]
+        )
+        assert table.methods == ["1NN", "majority"]
+        assert table.datasets == ["CBF"]
+        assert table.errors("1NN")[0] <= table.errors("majority")[0]
+
+    def test_wins_and_render(self, small_cbf):
+        table = compare(
+            {"1NN": NearestNeighborED, "majority": _MajorityClassifier}, [small_cbf]
+        )
+        wins = table.wins()
+        assert wins["1NN"] == 1
+        text = table.render()
+        assert "#wins" in text and "CBF" in text
+
+    def test_wilcoxon_identical_methods(self, small_cbf):
+        table = compare(
+            {"a": NearestNeighborED, "b": NearestNeighborED}, [small_cbf]
+        )
+        assert table.wilcoxon("a", "b") == 1.0
+
+    def test_rejects_empty(self, small_cbf):
+        with pytest.raises(ValueError, match="methods"):
+            compare({}, [small_cbf])
+        with pytest.raises(ValueError, match="datasets"):
+            compare({"a": NearestNeighborED}, [])
+
+
+class TestNoise:
+    def test_gaussian_noise_scales_with_level(self, rng):
+        X = np.tile(np.sin(np.linspace(0, 6, 100)), (5, 1))
+        small = add_gaussian_noise(X, 0.1, seed=0)
+        large = add_gaussian_noise(X, 0.8, seed=0)
+        assert np.abs(large - X).mean() > np.abs(small - X).mean()
+
+    def test_spikes_change_exactly_n_points(self, rng):
+        X = np.zeros((3, 50)) + np.linspace(0, 1, 50)
+        out = add_spikes(X, n_spikes=4, seed=0)
+        for i in range(3):
+            assert int(np.sum(out[i] != X[i])) == 4
+
+    def test_wander_preserves_mean_shape(self, rng):
+        X = rng.standard_normal((4, 80))
+        out = add_baseline_wander(X, amplitude=0.5, seed=0)
+        # Correlation with the original stays high: wander is additive drift.
+        for a, b in zip(X, out):
+            assert np.corrcoef(a, b)[0, 1] > 0.6
+
+    def test_dropout_flatlines_segment(self, rng):
+        X = rng.standard_normal((2, 60))
+        out = add_dropout(X, fraction=0.2, seed=0)
+        for row in out:
+            diffs = np.diff(row)
+            # At least an 11-point run of constancy.
+            run = 0
+            best = 0
+            for d in diffs:
+                run = run + 1 if d == 0 else 0
+                best = max(best, run)
+            assert best >= 11
+
+    def test_dropout_zero_fraction_identity(self, rng):
+        X = rng.standard_normal((2, 30))
+        np.testing.assert_array_equal(add_dropout(X, 0.0), X)
+
+    def test_dropout_rejects_bad_fraction(self, rng):
+        with pytest.raises(ValueError, match="fraction"):
+            add_dropout(rng.standard_normal((2, 30)), 1.0)
+
+    def test_corrupt_test_split_leaves_train(self, small_cbf):
+        corrupted = corrupt_test_split(small_cbf, "noise-0.5", seed=0)
+        np.testing.assert_array_equal(corrupted.X_train, small_cbf.X_train)
+        assert not np.array_equal(corrupted.X_test, small_cbf.X_test)
+        assert corrupted.name.endswith("+noise-0.5")
+
+    def test_unknown_corruption(self, small_cbf):
+        with pytest.raises(KeyError, match="unknown corruption"):
+            corrupt_test_split(small_cbf, "meteor")
+
+    def test_all_registered_corruptions_run(self, small_cbf):
+        for name in CORRUPTIONS:
+            out = corrupt_test_split(small_cbf, name, seed=0)
+            assert np.isfinite(out.X_test).all()
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            add_gaussian_noise(np.zeros(10))

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed as a subprocess from the examples directory
+(they import the local ``example_utils`` shim) and must exit cleanly
+with its headline output present.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", "Representative patterns"),
+    ("coffee_patterns.py", "caffeine band"),
+    ("ecg_feature_space.py", "linear SVM training accuracy"),
+    ("rotation_invariance.py", "Error rates"),
+    ("medical_alarm.py", "Alarm patterns"),
+    ("grammar_motifs.py", "variable-length"),
+    ("cricket_exploration.py", "Explaining one prediction"),
+    ("motif_discovery.py", "Top discord"),
+]
+
+
+@pytest.mark.parametrize("script,marker", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, marker):
+    result = subprocess.run(
+        [sys.executable, script],
+        cwd=EXAMPLES_DIR,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert marker in result.stdout
+
+
+def test_all_examples_are_covered():
+    scripts = {
+        p.name for p in EXAMPLES_DIR.glob("*.py") if p.name != "example_utils.py"
+    }
+    assert scripts == {script for script, _ in CASES}

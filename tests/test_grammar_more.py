@@ -1,0 +1,85 @@
+"""Extra grammar coverage: SAX-integrated behaviour and stress cases."""
+
+import numpy as np
+import pytest
+
+from repro.grammar.inference import discretize_class, induce_motifs
+from repro.grammar.sequitur import Sequitur, induce_grammar
+from repro.sax.discretize import SaxParams, discretize
+
+
+class TestSequiturStress:
+    def test_long_periodic_input_compresses_heavily(self):
+        tokens = ["a", "b", "c", "d", "e"] * 400
+        g = induce_grammar(tokens)
+        assert g.start.expansion() == tokens
+        assert g.grammar_size() < 100
+
+    def test_nested_structure(self):
+        # (ab)^2 inside larger repeats should build a rule hierarchy.
+        tokens = list("ababXababXababX")
+        g = induce_grammar(tokens)
+        assert g.start.expansion() == tokens
+        assert len(g.non_start_rules()) >= 2
+
+    def test_alternating_two_tokens(self):
+        tokens = ["x", "y"] * 100
+        g = induce_grammar(tokens)
+        assert g.start.expansion() == tokens
+        for rule in g.non_start_rules():
+            assert rule.refcount >= 2
+
+    def test_fibonacci_like_growth(self):
+        # Worst-ish case: a Sturmian-style sequence with few exact repeats.
+        a, b = ["0"], ["1"]
+        for _ in range(8):
+            a, b = a + b, a
+        g = induce_grammar(a)
+        assert g.start.expansion() == a
+
+    def test_tokens_fed_counter(self):
+        g = Sequitur()
+        g.feed_all(["a"] * 7)
+        assert g.tokens_fed == 7
+
+
+class TestGrammarOverSax:
+    PARAMS = SaxParams(10, 4, 4)
+
+    def test_grammar_rules_reflect_series_periodicity(self, rng):
+        period = 25
+        t = np.arange(300)
+        series = np.sin(2 * np.pi * t / period) + rng.standard_normal(300) * 0.02
+        record = discretize(series, self.PARAMS)
+        g = induce_grammar(record.words)
+        # A periodic series must compress well.
+        assert g.grammar_size() < len(record.words)
+
+    def test_motifs_scale_with_class_size(self, rng):
+        def bumpy():
+            s = rng.standard_normal(60) * 0.05
+            s[20:38] += np.hanning(18) * 3
+            return s
+
+        small_set = [bumpy() for _ in range(3)]
+        large_set = [bumpy() for _ in range(9)]
+        rec_s, st_s, ln_s = discretize_class(small_set, self.PARAMS)
+        rec_l, st_l, ln_l = discretize_class(large_set, self.PARAMS)
+        freq_small = max(
+            (m.frequency for m in induce_motifs(rec_s, st_s, ln_s)), default=0
+        )
+        freq_large = max(
+            (m.frequency for m in induce_motifs(rec_l, st_l, ln_l)), default=0
+        )
+        assert freq_large >= freq_small
+
+    def test_word_index_mapping_consistent(self, rng):
+        instances = [rng.standard_normal(50) for _ in range(4)]
+        record, starts, lengths = discretize_class(instances, self.PARAMS)
+        series = np.concatenate(instances)
+        # Every recorded word must re-derive from its offset.
+        from repro.sax.sax import sax_word
+
+        for word, offset in zip(record.words, record.offsets):
+            window = series[offset : offset + self.PARAMS.window_size]
+            assert sax_word(window, 4, 4) == word

@@ -1,0 +1,116 @@
+"""Integration tests: the full pipeline and cross-module behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import RPMClassifier, SaxParams
+from repro.baselines import NearestNeighborED, SaxVsmClassifier
+from repro.core.candidates import find_candidates
+from repro.core.selection import find_distinct
+from repro.core.transform import pattern_features
+from repro.data import cbf, load, rotate_test_split
+from repro.ml.metrics import error_rate
+from repro.ml.svm import SVC
+
+
+class TestEndToEndPipeline:
+    def test_rpm_beats_chance_substantially_on_cbf(self, tiny_cbf):
+        clf = RPMClassifier(sax_params=SaxParams(30, 5, 5), seed=0)
+        clf.fit(tiny_cbf.X_train, tiny_cbf.y_train)
+        err = error_rate(tiny_cbf.y_test, clf.predict(tiny_cbf.X_test))
+        assert err < 0.25  # chance would be ~0.67
+
+    def test_rpm_patterns_are_class_specific(self, tiny_cbf):
+        # The paper's central claim: each class gets its own patterns.
+        clf = RPMClassifier(sax_params=SaxParams(30, 5, 5), seed=0)
+        clf.fit(tiny_cbf.X_train, tiny_cbf.y_train)
+        labels = {p.label for p in clf.patterns_}
+        assert len(labels) >= 2
+
+    def test_algorithm1_into_algorithm2_manually(self, tiny_gun):
+        params = {label: SaxParams(24, 4, 4) for label in (0, 1)}
+        candidates = find_candidates(
+            tiny_gun.X_train, tiny_gun.y_train, params, gamma=0.2
+        )
+        assert candidates
+        selection = find_distinct(tiny_gun.X_train, tiny_gun.y_train, candidates)
+        assert selection.patterns
+        assert selection.n_after_dedup <= selection.n_candidates_in
+        # Classifier fit on the returned features reproduces the
+        # transform computed from scratch.
+        F = pattern_features(tiny_gun.X_train, selection.patterns)
+        np.testing.assert_allclose(F, selection.train_features, atol=1e-9)
+
+    def test_transformed_space_is_classifier_agnostic(self, tiny_gun):
+        # §3.1: "our algorithm can work with any classifier".
+        for factory in (SVC, NearestNeighborED):
+            clf = RPMClassifier(
+                sax_params=SaxParams(24, 4, 4), classifier_factory=factory, seed=0
+            )
+            clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+            err = error_rate(tiny_gun.y_test, clf.predict(tiny_gun.X_test))
+            assert err < 0.4
+
+    def test_deterministic_end_to_end(self, tiny_gun):
+        def run():
+            clf = RPMClassifier(sax_params=SaxParams(24, 4, 4), seed=3)
+            clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+            return clf.predict(tiny_gun.X_test)
+
+        np.testing.assert_array_equal(run(), run())
+
+
+class TestRotationCaseStudy:
+    def test_rotation_invariant_rpm_degrades_less_than_nn_ed(self):
+        ds = load("GunPointSim")
+        rotated = rotate_test_split(ds, seed=1)
+
+        rpm = RPMClassifier(
+            sax_params=SaxParams(40, 6, 5), rotation_invariant=True, seed=0
+        )
+        rpm.fit(ds.X_train, ds.y_train)
+        rpm_err = error_rate(rotated.y_test, rpm.predict(rotated.X_test))
+
+        nn = NearestNeighborED().fit(ds.X_train, ds.y_train)
+        nn_err = error_rate(rotated.y_test, nn.predict(rotated.X_test))
+
+        # Paper Table 4: global ED collapses under rotation, RPM holds.
+        assert rpm_err < nn_err
+
+    def test_rpm_rotated_error_stays_moderate(self):
+        ds = load("GunPointSim")
+        rotated = rotate_test_split(ds, seed=2)
+        rpm = RPMClassifier(
+            sax_params=SaxParams(40, 6, 5), rotation_invariant=True, seed=0
+        )
+        rpm.fit(ds.X_train, ds.y_train)
+        assert error_rate(rotated.y_test, rpm.predict(rotated.X_test)) < 0.35
+
+
+class TestAgainstBaselines:
+    def test_rpm_competitive_with_saxvsm_on_cbf(self):
+        ds = cbf(n_train_per_class=10, n_test_per_class=30, seed=21)
+        rpm = RPMClassifier(sax_params=SaxParams(40, 6, 5), seed=0)
+        rpm.fit(ds.X_train, ds.y_train)
+        rpm_err = error_rate(ds.y_test, rpm.predict(ds.X_test))
+
+        vsm = SaxVsmClassifier(params=SaxParams(40, 6, 5))
+        vsm.fit(ds.X_train, ds.y_train)
+        vsm_err = error_rate(ds.y_test, vsm.predict(ds.X_test))
+
+        assert rpm_err <= vsm_err + 0.1
+
+    def test_feature_count_is_small(self, tiny_cbf):
+        # RPM's pitch: a *small* set of interpretable patterns.
+        clf = RPMClassifier(sax_params=SaxParams(30, 5, 5), seed=0)
+        clf.fit(tiny_cbf.X_train, tiny_cbf.y_train)
+        assert len(clf.patterns_) <= 24
+
+
+class TestMedicalAlarmCaseStudy:
+    def test_normal_vs_alarm_classification(self):
+        ds = load("MedicalAlarmABP")
+        clf = RPMClassifier(sax_params=SaxParams(50, 6, 5), seed=0)
+        clf.fit(ds.X_train, ds.y_train)
+        err = error_rate(ds.y_test, clf.predict(ds.X_test))
+        assert err < 0.35

@@ -1,0 +1,120 @@
+import numpy as np
+import pytest
+
+from repro.ml.crossval import kfold_predictions, stratified_kfold, stratified_split
+
+
+class TestStratifiedKfold:
+    def test_partitions_everything_once(self):
+        y = np.array([0] * 10 + [1] * 10)
+        seen = []
+        for train, test in stratified_kfold(y, 5, seed=0):
+            assert set(train) | set(test) == set(range(20))
+            assert not set(train) & set(test)
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(20))
+
+    def test_class_balance_per_fold(self):
+        y = np.array([0] * 20 + [1] * 20)
+        for train, test in stratified_kfold(y, 4, seed=1):
+            labels = y[test]
+            assert np.sum(labels == 0) == 5
+            assert np.sum(labels == 1) == 5
+
+    def test_rare_class_spreads(self):
+        y = np.array([0] * 12 + [1] * 2)
+        folds = list(stratified_kfold(y, 4, seed=2))
+        rare_test_counts = [int(np.sum(y[test] == 1)) for _, test in folds]
+        assert sum(rare_test_counts) == 2
+
+    def test_deterministic_given_seed(self):
+        y = np.arange(12) % 3
+        a = [t.tolist() for _, t in stratified_kfold(y, 3, seed=7)]
+        b = [t.tolist() for _, t in stratified_kfold(y, 3, seed=7)]
+        assert a == b
+
+    def test_rejects_bad_folds(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            list(stratified_kfold(np.zeros(5), 1))
+        with pytest.raises(ValueError, match="exceeds"):
+            list(stratified_kfold(np.zeros(3), 5))
+
+
+class TestStratifiedSplit:
+    def test_sizes_roughly_match_fraction(self):
+        y = np.array([0] * 30 + [1] * 30)
+        train, test = stratified_split(y, 0.3, seed=0)
+        assert test.size == 18
+        assert train.size == 42
+
+    def test_each_class_on_both_sides(self):
+        y = np.array([0] * 4 + [1] * 4 + [2] * 4)
+        train, test = stratified_split(y, 0.25, seed=0)
+        for label in (0, 1, 2):
+            assert label in y[train]
+            assert label in y[test]
+
+    def test_singleton_class_stays_in_train(self):
+        y = np.array([0] * 9 + [1])
+        train, test = stratified_split(y, 0.3, seed=0)
+        assert 1 in y[train]
+        assert 1 not in y[test]
+
+    def test_disjoint_and_complete(self):
+        y = np.arange(20) % 4
+        train, test = stratified_split(y, 0.4, seed=3)
+        assert not set(train) & set(test)
+        assert sorted(np.concatenate([train, test]).tolist()) == list(range(20))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError, match="in \\(0, 1\\)"):
+            stratified_split(np.zeros(4), 1.5)
+
+
+class TestKfoldPredictions:
+    def test_oracle_classifier_scores_perfectly(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = (X.ravel() >= 10).astype(int)
+
+        def fit_predict(X_tr, y_tr, X_te):
+            thr = 9.5
+            return (X_te.ravel() >= thr).astype(int)
+
+        preds = kfold_predictions(fit_predict, X, y, n_folds=4, seed=0)
+        assert np.array_equal(preds, y)
+
+    def test_predictions_align_with_labels(self):
+        X = np.zeros((9, 1))
+        y = np.arange(9) % 3
+
+        def fit_predict(X_tr, y_tr, X_te):
+            return np.full(X_te.shape[0], 99)
+
+        preds = kfold_predictions(fit_predict, X, y, n_folds=3, seed=0)
+        assert preds.shape == y.shape
+        assert (preds == 99).all()
+
+
+class TestStratifiedKfoldEdge:
+    def test_uneven_class_sizes(self):
+        y = np.array([0] * 7 + [1] * 5 + [2] * 3)
+        folds = list(stratified_kfold(y, 3, seed=4))
+        assert len(folds) == 3
+        covered = sorted(i for _, test in folds for i in test)
+        assert covered == list(range(15))
+
+    def test_two_folds_near_halves(self):
+        # 5 members per class dealt over 2 folds: each fold holds 2-3
+        # of each class (each class splits 3/2 independently).
+        y = np.arange(10) % 2
+        for train, test in stratified_kfold(y, 2, seed=0):
+            assert 4 <= test.size <= 6
+            assert 2 <= np.sum(y[test] == 0) <= 3
+            assert 2 <= np.sum(y[test] == 1) <= 3
+
+    def test_generator_reusable_via_list(self):
+        y = np.arange(9) % 3
+        folds = list(stratified_kfold(y, 3, seed=1))
+        again = list(stratified_kfold(y, 3, seed=1))
+        for (tr1, te1), (tr2, te2) in zip(folds, again):
+            np.testing.assert_array_equal(te1, te2)

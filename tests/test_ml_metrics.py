@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    error_rate,
+    macro_f1,
+    precision_recall_f1,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        y = np.array([0, 1, 2])
+        assert accuracy(y, y) == 1.0
+        assert error_rate(y, y) == 0.0
+
+    def test_half(self):
+        assert accuracy(np.array([0, 0, 1, 1]), np.array([0, 1, 1, 0])) == 0.5
+
+    def test_string_labels(self):
+        assert accuracy(np.array(["a", "b"]), np.array(["a", "a"])) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            accuracy(np.array([0]), np.array([0, 1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        y_true = np.array([0, 0, 1, 1, 1])
+        y_pred = np.array([0, 1, 1, 1, 0])
+        matrix, labels = confusion_matrix(y_true, y_pred)
+        np.testing.assert_array_equal(labels, [0, 1])
+        np.testing.assert_array_equal(matrix, [[1, 1], [1, 2]])
+
+    def test_explicit_label_order(self):
+        matrix, labels = confusion_matrix(
+            np.array([1, 2]), np.array([2, 2]), labels=np.array([2, 1])
+        )
+        np.testing.assert_array_equal(labels, [2, 1])
+        assert matrix[0, 0] == 1  # true 2 predicted 2
+        assert matrix[1, 0] == 1  # true 1 predicted 2
+
+    def test_rows_sum_to_class_counts(self, rng):
+        y_true = rng.integers(0, 3, 50)
+        y_pred = rng.integers(0, 3, 50)
+        matrix, labels = confusion_matrix(y_true, y_pred)
+        for i, label in enumerate(labels):
+            assert matrix[i].sum() == np.sum(y_true == label)
+
+
+class TestF1:
+    def test_perfect_scores(self):
+        y = np.array([0, 1, 0, 1])
+        scores = precision_recall_f1(y, y)
+        np.testing.assert_array_equal(scores.f1, [1.0, 1.0])
+
+    def test_known_values(self):
+        y_true = np.array([0, 0, 0, 1, 1])
+        y_pred = np.array([0, 0, 1, 1, 1])
+        scores = precision_recall_f1(y_true, y_pred)
+        p0, r0, f0 = scores.for_label(0)
+        assert p0 == 1.0 and r0 == pytest.approx(2 / 3)
+        assert f0 == pytest.approx(2 * 1.0 * (2 / 3) / (1.0 + 2 / 3))
+
+    def test_never_predicted_class_zero_precision(self):
+        y_true = np.array([0, 1])
+        y_pred = np.array([0, 0])
+        scores = precision_recall_f1(y_true, y_pred)
+        _, _, f1 = scores.for_label(1)
+        assert f1 == 0.0
+
+    def test_macro_f1_is_mean(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 0, 1, 0])
+        scores = precision_recall_f1(y_true, y_pred)
+        assert macro_f1(y_true, y_pred) == pytest.approx(scores.f1.mean())
+
+    def test_fixed_label_universe(self):
+        # A fold may miss a class entirely; scores must still align to
+        # the full label set.
+        scores = precision_recall_f1(
+            np.array([0, 0]), np.array([0, 0]), labels=np.array([0, 1, 2])
+        )
+        assert len(scores.labels) == 3
+        assert scores.f1[0] == 1.0
+        assert scores.f1[1] == 0.0

@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.ml.stats import rankdata_average, wilcoxon_signed_rank
+
+
+class TestRankdata:
+    def test_no_ties(self):
+        np.testing.assert_array_equal(
+            rankdata_average(np.array([10.0, 30.0, 20.0])), [1, 3, 2]
+        )
+
+    def test_ties_share_average_rank(self):
+        np.testing.assert_array_equal(
+            rankdata_average(np.array([1.0, 2.0, 2.0, 3.0])), [1, 2.5, 2.5, 4]
+        )
+
+    def test_matches_scipy(self, rng):
+        for _ in range(20):
+            values = rng.integers(0, 5, 15).astype(float)
+            np.testing.assert_allclose(
+                rankdata_average(values), scipy_stats.rankdata(values)
+            )
+
+
+class TestWilcoxon:
+    def test_matches_scipy_p_value(self, rng):
+        for _ in range(25):
+            x = rng.standard_normal(30)
+            y = x + rng.standard_normal(30) * 0.5 + 0.2
+            ours = wilcoxon_signed_rank(x, y)
+            theirs = scipy_stats.wilcoxon(
+                x, y, zero_method="wilcox", correction=True, mode="approx"
+            )
+            assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6)
+            assert ours.statistic == pytest.approx(theirs.statistic)
+
+    def test_clear_difference_significant(self, rng):
+        x = rng.standard_normal(40)
+        y = x + 1.0
+        assert wilcoxon_signed_rank(x, y).p_value < 1e-4
+
+    def test_no_difference_not_significant(self, rng):
+        x = rng.standard_normal(40)
+        y = x + rng.standard_normal(40) * 0.001 * np.where(np.arange(40) % 2 == 0, 1, -1)
+        assert wilcoxon_signed_rank(x, y).p_value > 0.05
+
+    def test_symmetric_in_arguments(self, rng):
+        x = rng.standard_normal(25)
+        y = rng.standard_normal(25)
+        assert wilcoxon_signed_rank(x, y).p_value == pytest.approx(
+            wilcoxon_signed_rank(y, x).p_value
+        )
+
+    def test_zero_differences_dropped(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+        y = np.array([1.0, 2.5, 2.5, 4.5, 4.0, 7.0, 6.0])
+        result = wilcoxon_signed_rank(x, y)
+        assert result.n_nonzero == 6
+
+    def test_all_zero_rejected(self):
+        x = np.arange(5.0)
+        with pytest.raises(ValueError, match="zero"):
+            wilcoxon_signed_rank(x, x)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            wilcoxon_signed_rank(np.zeros(3), np.zeros(4))
+
+    def test_p_value_in_unit_interval(self, rng):
+        for _ in range(10):
+            x = rng.standard_normal(12)
+            y = rng.standard_normal(12)
+            assert 0.0 <= wilcoxon_signed_rank(x, y).p_value <= 1.0

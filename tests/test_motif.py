@@ -1,0 +1,167 @@
+import numpy as np
+import pytest
+
+from repro.motif import (
+    Motif,
+    MotifOccurrence,
+    find_discord_brute_force,
+    find_discords_density,
+    find_motifs,
+    rule_density,
+)
+from repro.sax.discretize import SaxParams
+
+PARAMS = SaxParams(24, 4, 4)
+
+
+def _periodic(rng, n=500, period=40, noise=0.1):
+    t = np.arange(n)
+    return np.sin(2 * np.pi * t / period) + rng.standard_normal(n) * noise
+
+
+class TestMotifDataclass:
+    def test_frequency_and_mean_length(self):
+        motif = Motif(
+            rule_id=1,
+            words=("ab",),
+            occurrences=[MotifOccurrence(0, 10), MotifOccurrence(20, 34)],
+        )
+        assert motif.frequency == 2
+        assert motif.mean_length() == 12.0
+
+    def test_covered_points_merges_overlaps(self):
+        motif = Motif(
+            rule_id=1,
+            words=("ab",),
+            occurrences=[MotifOccurrence(0, 10), MotifOccurrence(5, 15)],
+        )
+        assert motif.covered_points() == 15
+
+    def test_covered_points_disjoint(self):
+        motif = Motif(
+            rule_id=1,
+            words=("ab",),
+            occurrences=[MotifOccurrence(0, 5), MotifOccurrence(10, 15)],
+        )
+        assert motif.covered_points() == 10
+
+    def test_empty(self):
+        motif = Motif(rule_id=1, words=("ab",))
+        assert motif.covered_points() == 0
+        assert motif.mean_length() == 0.0
+
+
+class TestFindMotifs:
+    def test_periodic_series_has_frequent_motifs(self, rng):
+        series = _periodic(rng)
+        motifs = find_motifs(series, PARAMS)
+        assert motifs
+        assert motifs[0].frequency >= 4
+
+    def test_occurrences_within_bounds(self, rng):
+        series = _periodic(rng)
+        for motif in find_motifs(series, PARAMS):
+            for occ in motif.occurrences:
+                assert 0 <= occ.start < occ.end <= series.size
+
+    def test_min_frequency_respected(self, rng):
+        series = _periodic(rng)
+        for motif in find_motifs(series, PARAMS, min_frequency=5):
+            assert motif.frequency >= 5
+
+    def test_top_k_limits(self, rng):
+        series = _periodic(rng)
+        assert len(find_motifs(series, PARAMS, top_k=3)) <= 3
+
+    def test_ranking_orders(self, rng):
+        series = _periodic(rng)
+        by_freq = find_motifs(series, PARAMS, rank_by="frequency")
+        freqs = [m.frequency for m in by_freq]
+        assert freqs == sorted(freqs, reverse=True)
+        by_cov = find_motifs(series, PARAMS, rank_by="coverage")
+        covers = [m.covered_points() for m in by_cov]
+        assert covers == sorted(covers, reverse=True)
+
+    def test_prototype_is_znormed(self, rng):
+        series = _periodic(rng)
+        motifs = find_motifs(series, PARAMS, refine=True, top_k=1)
+        proto = motifs[0].prototype
+        assert proto is not None
+        assert abs(proto.mean()) < 1e-6
+
+    def test_no_refine_skips_prototype(self, rng):
+        series = _periodic(rng)
+        motifs = find_motifs(series, PARAMS, refine=False, top_k=1)
+        assert motifs[0].prototype is None
+
+    def test_rejects_bad_ranking(self, rng):
+        with pytest.raises(ValueError, match="rank_by"):
+            find_motifs(_periodic(rng), PARAMS, rank_by="best")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            find_motifs(np.zeros((3, 30)), PARAMS)
+
+    def test_random_walk_fewer_motifs_than_periodic(self, rng):
+        periodic = _periodic(rng, noise=0.05)
+        walk = np.cumsum(rng.standard_normal(500))
+        motifs_p = find_motifs(periodic, PARAMS, min_frequency=4)
+        motifs_w = find_motifs(walk, PARAMS, min_frequency=4)
+        top_p = motifs_p[0].frequency if motifs_p else 0
+        top_w = motifs_w[0].frequency if motifs_w else 0
+        assert top_p >= top_w
+
+
+class TestRuleDensity:
+    def test_counts_covering_occurrences(self):
+        motifs = [
+            Motif(rule_id=1, words=("a",), occurrences=[MotifOccurrence(0, 5)]),
+            Motif(rule_id=2, words=("b",), occurrences=[MotifOccurrence(3, 8)]),
+        ]
+        density = rule_density(10, motifs)
+        assert density[0] == 1
+        assert density[4] == 2
+        assert density[9] == 0
+
+    def test_periodic_series_dense_everywhere_in_middle(self, rng):
+        series = _periodic(rng, noise=0.05)
+        motifs = find_motifs(series, PARAMS, refine=False)
+        density = rule_density(series.size, motifs)
+        assert density[100:400].min() >= 1
+
+
+class TestDiscords:
+    def _anomalous_series(self, rng, n=600, period=40):
+        series = _periodic(rng, n=n, period=period, noise=0.08)
+        series[300:330] += np.hanning(30) * 3.0
+        return series
+
+    def test_density_discord_near_true_anomaly(self, rng):
+        series = self._anomalous_series(rng)
+        discord = find_discords_density(series, PARAMS, n_discords=1)[0]
+        assert 300 - 40 <= discord.start <= 330
+
+    def test_brute_force_finds_anomaly(self, rng):
+        series = self._anomalous_series(rng)
+        discord = find_discord_brute_force(series, 30)
+        assert 270 <= discord.start <= 330
+
+    def test_multiple_discords_nonoverlapping(self, rng):
+        series = self._anomalous_series(rng)
+        discords = find_discords_density(series, PARAMS, n_discords=3)
+        assert len(discords) <= 3
+        for i, a in enumerate(discords):
+            for b in discords[i + 1 :]:
+                assert abs(a.start - b.start) >= PARAMS.window_size
+
+    def test_scores_sorted_descending(self, rng):
+        series = self._anomalous_series(rng)
+        discords = find_discords_density(series, PARAMS, n_discords=3)
+        scores = [d.score for d in discords]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rejects_window_too_long(self, rng):
+        with pytest.raises(ValueError, match="shorter"):
+            find_discords_density(np.zeros(30), PARAMS, window=40)
+        with pytest.raises(ValueError, match="shorter"):
+            find_discord_brute_force(np.zeros(30), 40)

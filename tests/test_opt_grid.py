@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.opt.direct import direct_minimize
+from repro.opt.grid import (
+    PRUNED_VALUE,
+    CachedIntegerObjective,
+    PrunedEvaluation,
+    grid_search,
+)
+
+
+class TestCachedIntegerObjective:
+    def test_rounds_to_integers(self):
+        seen = []
+
+        def f(key):
+            seen.append(key)
+            return 0.0
+
+        obj = CachedIntegerObjective(f)
+        obj(np.array([1.4, 2.6]))
+        assert seen == [(1, 3)]
+
+    def test_caches_repeat_evaluations(self):
+        calls = 0
+
+        def f(key):
+            nonlocal calls
+            calls += 1
+            return float(sum(key))
+
+        obj = CachedIntegerObjective(f)
+        obj(np.array([1.1, 2.0]))
+        obj(np.array([0.9, 2.2]))  # rounds to the same (1, 2)
+        assert calls == 1
+        assert obj.n_unique == 1
+        assert obj.n_calls == 2
+
+    def test_pruned_evaluation_becomes_sentinel(self):
+        def f(key):
+            raise PrunedEvaluation
+
+        obj = CachedIntegerObjective(f)
+        assert obj(np.array([3.0])) == PRUNED_VALUE
+
+    def test_best_returns_minimum(self):
+        obj = CachedIntegerObjective(lambda key: float(key[0] ** 2))
+        for v in (-2.0, 1.0, 0.0, 3.0):
+            obj(np.array([v]))
+        key, value = obj.best()
+        assert key == (0,)
+        assert value == 0.0
+
+    def test_best_before_any_call_raises(self):
+        with pytest.raises(RuntimeError, match="never evaluated"):
+            CachedIntegerObjective(lambda k: 0.0).best()
+
+    def test_counts_R_under_direct(self):
+        # Many continuous DIRECT samples collapse onto few integer
+        # combinations — the mechanism behind the paper's small R.
+        obj = CachedIntegerObjective(lambda key: float((key[0] - 3) ** 2))
+        res = direct_minimize(obj, [(0.0, 10.0)], max_evaluations=60)
+        assert obj.n_unique <= 11
+        assert obj.n_calls == res.n_evaluations
+
+
+class TestGridSearch:
+    def test_finds_minimum(self):
+        res = grid_search(
+            lambda key: float((key[0] - 2) ** 2 + (key[1] + 1) ** 2),
+            [[0, 1, 2, 3], [-2, -1, 0]],
+        )
+        assert res.x == (2, -1)
+        assert res.fun == 0.0
+        assert res.n_evaluations == 12
+
+    def test_pruning_recorded(self):
+        def f(key):
+            if key[0] == 0:
+                raise PrunedEvaluation
+            return float(key[0])
+
+        res = grid_search(f, [[0, 1, 2]])
+        assert res.n_pruned == 1
+        assert res.x == (1,)
+        assert res.table[(0,)] == PRUNED_VALUE
+
+    def test_all_pruned_falls_back(self):
+        def f(key):
+            raise PrunedEvaluation
+
+        res = grid_search(f, [[5, 6]])
+        assert res.x == (5,)
+        assert res.fun == PRUNED_VALUE
+
+    def test_max_evaluations_cap(self):
+        res = grid_search(lambda k: float(k[0]), [list(range(100))], max_evaluations=10)
+        assert res.n_evaluations == 10
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            grid_search(lambda k: 0.0, [[]])

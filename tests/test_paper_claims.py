@@ -1,0 +1,123 @@
+"""Executable checks of the paper's qualitative claims.
+
+Each test names the claim (section reference) and verifies the
+mechanism behind it on controlled data. These complement the benchmark
+shape assertions — they are cheap enough to run in every test pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro import RPMClassifier, SaxParams
+from repro.core.candidates import find_class_candidates
+from repro.grammar.inference import discretize_class, induce_motifs
+from repro.sax.discretize import SaxParams as SP, discretize
+
+
+class TestClaimVariableLengthPatterns:
+    """§3.2.1: numerosity reduction 'enables the discovery of
+    representative patterns of varying lengths'."""
+
+    def test_with_reduction_lengths_vary(self, rng):
+        def instance(stretch):
+            # The same bump, played at two speeds.
+            s = rng.standard_normal(90) * 0.05
+            bump = np.hanning(int(18 * stretch)) * 3
+            s[20 : 20 + bump.size] += bump
+            return s
+
+        instances = [instance(1.0) for _ in range(4)] + [instance(1.5) for _ in range(4)]
+        record, starts, lengths = discretize_class(instances, SP(14, 4, 4))
+        motifs = induce_motifs(record, starts, lengths)
+        all_lengths = {occ.length for m in motifs for occ in m.occurrences}
+        assert len(all_lengths) > 1
+
+    def test_without_reduction_one_word_per_position(self, rng):
+        series = rng.standard_normal(60)
+        record = discretize(series, SP(12, 4, 4), numerosity_reduction=False)
+        assert len(record) == 60 - 12 + 1
+
+
+class TestClaimClassSpecificPatterns:
+    """§1/§2: 'each class has its own set of representative patterns,
+    whereas in shapelets some classes may share a shapelet'."""
+
+    def test_each_class_mined_with_own_instances(self, rng):
+        up = [np.concatenate([np.zeros(30), np.hanning(20) * 3, np.zeros(30)])
+              + rng.standard_normal(80) * 0.05 for _ in range(6)]
+        down = [np.concatenate([np.zeros(30), -np.hanning(20) * 3, np.zeros(30)])
+                + rng.standard_normal(80) * 0.05 for _ in range(6)]
+        cands_up = find_class_candidates(up, "up", SP(16, 4, 4), gamma=0.3)
+        cands_down = find_class_candidates(down, "down", SP(16, 4, 4), gamma=0.3)
+        assert all(c.label == "up" for c in cands_up)
+        assert all(c.label == "down" for c in cands_down)
+        # The prototypes must differ in shape (up-bump vs down-bump).
+        best_up = max(cands_up, key=lambda c: c.frequency)
+        best_down = max(cands_down, key=lambda c: c.frequency)
+        corr = np.corrcoef(
+            best_up.values[: min(best_up.length, best_down.length)],
+            best_down.values[: min(best_up.length, best_down.length)],
+        )[0, 1]
+        assert corr < 0.5
+
+
+class TestClaimCandidateCountSmall:
+    """§1: RPM considers O(#motifs) candidates instead of the O(nm²)
+    subsequences of exhaustive shapelet search."""
+
+    def test_candidate_pool_far_below_subsequence_count(self, rng):
+        instances = [np.sin(np.linspace(0, 6, 80)) + rng.standard_normal(80) * 0.1
+                     for _ in range(8)]
+        candidates = find_class_candidates(instances, 0, SP(16, 4, 4), gamma=0.25)
+        n, m = 8, 80
+        subsequence_count = n * m * (m - 1) // 2
+        assert len(candidates) < subsequence_count / 100
+
+
+class TestClaimFixedLengthFeatureVector:
+    """§2.1/§3.1: the transform turns any series into a fixed-length
+    vector usable by any classifier."""
+
+    def test_transform_is_fixed_length(self, tiny_cbf):
+        clf = RPMClassifier(sax_params=SaxParams(24, 4, 4), seed=0)
+        clf.fit(tiny_cbf.X_train, tiny_cbf.y_train)
+        k = len(clf.patterns_)
+        assert clf.transform(tiny_cbf.X_train).shape == (tiny_cbf.n_train, k)
+        assert clf.transform(tiny_cbf.X_test).shape == (tiny_cbf.n_test, k)
+
+    def test_dynamic_pattern_count_varies_by_dataset(self, tiny_cbf, tiny_gun):
+        a = RPMClassifier(sax_params=SaxParams(24, 4, 4), seed=0)
+        a.fit(tiny_cbf.X_train, tiny_cbf.y_train)
+        b = RPMClassifier(sax_params=SaxParams(24, 4, 4), seed=0)
+        b.fit(tiny_gun.X_train, tiny_gun.y_train)
+        # §3.2.3: 'the number of selected patterns ... is dynamically
+        # determined by the feature selection algorithm' — it is a
+        # data-dependent quantity, not a hyperparameter.
+        assert len(a.patterns_) >= 1 and len(b.patterns_) >= 1
+
+
+class TestClaimJunctionSafety:
+    """§3.2.2 / Figure 4: 'the algorithm does not consider the
+    subsequences that span time series junction points'."""
+
+    def test_no_occurrence_spans_junction(self, rng):
+        instances = [rng.standard_normal(50) + np.sin(np.linspace(0, 9, 50)) * 2
+                     for _ in range(5)]
+        record, starts, lengths = discretize_class(instances, SP(12, 4, 4))
+        ends = starts + lengths
+        for motif in induce_motifs(record, starts, lengths):
+            for occ in motif.occurrences:
+                assert starts[occ.instance] <= occ.start
+                assert occ.end <= ends[occ.instance]
+
+
+class TestClaimParameterLearning:
+    """§4: different classes can legitimately end up with different SAX
+    parameters."""
+
+    def test_per_class_params_honoured_end_to_end(self, tiny_gun):
+        params = {0: SaxParams(20, 4, 4), 1: SaxParams(36, 6, 5)}
+        clf = RPMClassifier(sax_params=params, seed=0)
+        clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+        for pattern in clf.patterns_:
+            assert pattern.candidate.sax_params == params[pattern.label]

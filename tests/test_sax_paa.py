@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.sax.paa import paa, paa_rows
+
+
+class TestPaa:
+    def test_divisible_case_is_segment_means(self):
+        series = np.array([1.0, 3.0, 2.0, 4.0, 10.0, 12.0])
+        np.testing.assert_allclose(paa(series, 3), [2.0, 3.0, 11.0])
+
+    def test_identity_when_segments_equal_length(self):
+        series = np.array([1.0, 2.0, 3.0])
+        out = paa(series, 3)
+        np.testing.assert_array_equal(out, series)
+        assert out is not series  # must be a copy
+
+    def test_single_segment_is_global_mean(self):
+        series = np.arange(10.0)
+        np.testing.assert_allclose(paa(series, 1), [4.5])
+
+    def test_fractional_case_preserves_mean(self):
+        # Overlap weighting must conserve total mass: the weighted mean
+        # of the PAA equals the series mean.
+        series = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+        out = paa(series, 3)
+        assert abs(out.mean() - series.mean()) < 1e-12
+
+    def test_fractional_known_value(self):
+        # n=5, w=2: segment width 2.5; first = (1+2+0.5*3)/2.5
+        series = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        out = paa(series, 2)
+        np.testing.assert_allclose(out, [(1 + 2 + 1.5) / 2.5, (1.5 + 4 + 5) / 2.5])
+
+    def test_constant_series_stays_constant(self):
+        out = paa(np.full(11, 2.5), 4)
+        np.testing.assert_allclose(out, np.full(4, 2.5))
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            paa(np.arange(5.0), 0)
+
+    def test_rejects_more_segments_than_points(self):
+        with pytest.raises(ValueError, match="may not exceed"):
+            paa(np.arange(3.0), 4)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            paa(np.zeros((2, 4)), 2)
+
+
+class TestPaaRows:
+    def test_matches_rowwise_paa(self, rng):
+        X = rng.standard_normal((5, 13))
+        out = paa_rows(X, 4)
+        for i in range(5):
+            np.testing.assert_allclose(out[i], paa(X[i], 4), atol=1e-12)
+
+    def test_divisible_rowwise(self, rng):
+        X = rng.standard_normal((4, 12))
+        out = paa_rows(X, 4)
+        np.testing.assert_allclose(out, X.reshape(4, 4, 3).mean(axis=2))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            paa_rows(np.zeros(5), 2)
+
+    def test_rejects_segments_exceeding_width(self):
+        with pytest.raises(ValueError, match="may not exceed"):
+            paa_rows(np.zeros((2, 3)), 4)

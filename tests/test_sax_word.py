@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from repro.sax.sax import mindist, sax_word, sax_words_for_rows
+from repro.sax.znorm import znorm, znorm_rows
+
+
+class TestSaxWord:
+    def test_length_equals_paa_size(self):
+        word = sax_word(np.sin(np.linspace(0, 6, 64)), 8, 4)
+        assert len(word) == 8
+
+    def test_increasing_ramp_spans_alphabet(self):
+        word = sax_word(np.linspace(0, 1, 40), 4, 4)
+        assert word == "abcd"
+
+    def test_decreasing_ramp_reverses(self):
+        word = sax_word(np.linspace(1, 0, 40), 4, 4)
+        assert word == "dcba"
+
+    def test_flat_series_maps_to_middle(self):
+        # Flat input z-normalizes to zeros; zero lands in the region
+        # just above the middle breakpoint.
+        word = sax_word(np.full(20, 7.0), 4, 4)
+        assert set(word) <= {"b", "c"}
+        assert len(set(word)) == 1
+
+    def test_offset_scale_invariance(self):
+        series = np.sin(np.linspace(0, 7, 50))
+        assert sax_word(series, 6, 5) == sax_word(series * 9 - 3, 6, 5)
+
+    def test_normalize_false_skips_znorm(self):
+        series = np.full(16, 10.0)  # large constant, no z-norm
+        word = sax_word(series, 4, 4, normalize=False)
+        assert word == "dddd"
+
+    def test_letters_within_alphabet(self, rng):
+        for _ in range(20):
+            word = sax_word(rng.standard_normal(30), 5, 3)
+            assert set(word) <= set("abc")
+
+
+class TestSaxRows:
+    def test_matches_scalar_path(self, rng):
+        windows = znorm_rows(rng.standard_normal((7, 24)))
+        words = sax_words_for_rows(windows, 6, 5)
+        for row, word in zip(windows, words):
+            assert word == sax_word(row, 6, 5, normalize=False)
+
+
+class TestMindist:
+    def test_identical_words_zero(self):
+        assert mindist("abba", "abba", 32, 4) == 0.0
+
+    def test_adjacent_letters_zero(self):
+        assert mindist("abab", "baba", 32, 4) == 0.0
+
+    def test_symmetry(self):
+        assert mindist("aacd", "dcaa", 40, 4) == mindist("dcaa", "aacd", 40, 4)
+
+    def test_lower_bounds_euclidean(self, rng):
+        # The fundamental MINDIST property on z-normalized series.
+        n, w, alpha = 32, 8, 4
+        for _ in range(30):
+            a = znorm(rng.standard_normal(n))
+            b = znorm(rng.standard_normal(n))
+            lb = mindist(sax_word(a, w, alpha), sax_word(b, w, alpha), n, alpha)
+            true = float(np.sqrt(np.sum((a - b) ** 2)))
+            assert lb <= true + 1e-9
+
+    def test_rejects_unequal_lengths(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            mindist("ab", "abc", 16, 4)
+
+    def test_rejects_letters_outside_alphabet(self):
+        with pytest.raises(ValueError, match="outside"):
+            mindist("az", "ab", 16, 4)

@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.sax.znorm import NORM_THRESHOLD, znorm, znorm_rows
+
+
+class TestZnorm:
+    def test_zero_mean_unit_std(self):
+        out = znorm(np.array([1.0, 2.0, 3.0, 4.0, 5.0]))
+        assert abs(out.mean()) < 1e-12
+        assert abs(out.std() - 1.0) < 1e-12
+
+    def test_flat_series_becomes_zeros(self):
+        out = znorm(np.full(10, 3.7))
+        assert np.array_equal(out, np.zeros(10))
+
+    def test_nearly_flat_series_uses_threshold(self):
+        series = 5.0 + np.linspace(0, NORM_THRESHOLD / 10, 8)
+        assert np.array_equal(znorm(series), np.zeros(8))
+
+    def test_scale_and_offset_invariance(self):
+        base = np.array([0.0, 1.0, -1.0, 2.0, 0.5])
+        shifted = 10.0 * base + 42.0
+        np.testing.assert_allclose(znorm(base), znorm(shifted), atol=1e-12)
+
+    def test_does_not_mutate_input(self):
+        series = np.array([1.0, 2.0, 3.0])
+        copy = series.copy()
+        znorm(series)
+        assert np.array_equal(series, copy)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            znorm(np.zeros((2, 3)))
+
+    def test_empty_input_returns_empty(self):
+        assert znorm(np.array([])).size == 0
+
+    def test_single_point_is_flat(self):
+        assert np.array_equal(znorm(np.array([5.0])), np.array([0.0]))
+
+
+class TestZnormRows:
+    def test_matches_per_row_znorm(self, rng):
+        X = rng.standard_normal((6, 20)) * 3.0 + 1.0
+        out = znorm_rows(X)
+        for i in range(6):
+            np.testing.assert_allclose(out[i], znorm(X[i]), atol=1e-12)
+
+    def test_mixed_flat_and_normal_rows(self):
+        X = np.vstack([np.full(5, 2.0), np.arange(5.0)])
+        out = znorm_rows(X)
+        assert np.array_equal(out[0], np.zeros(5))
+        assert abs(out[1].std() - 1.0) < 1e-12
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            znorm_rows(np.zeros(5))
+
+    def test_empty_matrix(self):
+        out = znorm_rows(np.zeros((0, 4)))
+        assert out.shape == (0, 4)

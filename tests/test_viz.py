@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.viz import annotate_interval, ascii_scatter, heading, sparkline
+
+
+class TestSparkline:
+    def test_length_caps_at_width(self, rng):
+        assert len(sparkline(rng.standard_normal(500), width=40)) == 40
+
+    def test_short_series_keeps_length(self, rng):
+        assert len(sparkline(rng.standard_normal(10), width=40)) == 10
+
+    def test_constant_series_flat(self):
+        line = sparkline(np.full(8, 3.0))
+        assert line == line[0] * 8
+
+    def test_min_max_blocks(self):
+        line = sparkline(np.array([0.0, 1.0]))
+        assert line[0] == "▁" and line[1] == "█"
+
+    def test_empty(self):
+        assert sparkline(np.array([])) == ""
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            sparkline(np.zeros((2, 3)))
+
+
+class TestAnnotateInterval:
+    def test_marks_correct_columns(self):
+        line = annotate_interval(10, 2, 5, width=10)
+        assert line == "  ^^^     "
+
+    def test_scales_to_width(self):
+        line = annotate_interval(100, 50, 100, width=10)
+        assert line[:5].strip() == ""
+        assert set(line[5:]) == {"^"}
+
+    def test_zero_length(self):
+        assert annotate_interval(0, 0, 0) == ""
+
+    def test_at_least_one_mark(self):
+        line = annotate_interval(1000, 3, 4, width=10)
+        assert "^" in line
+
+
+class TestAsciiScatter:
+    def test_contains_markers_and_legend(self, rng):
+        x = rng.standard_normal(20)
+        y = rng.standard_normal(20)
+        labels = np.array([0, 1] * 10)
+        art = ascii_scatter(x, y, labels)
+        assert "o" in art and "x" in art
+        assert "class 0" in art and "class 1" in art
+
+    def test_degenerate_single_point(self):
+        art = ascii_scatter(np.array([1.0]), np.array([1.0]), np.array([0]))
+        assert "o" in art
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="share a shape"):
+            ascii_scatter(np.zeros(3), np.zeros(4), np.zeros(3))
+
+
+class TestHeading:
+    def test_boxes_text(self):
+        out = heading("Hello")
+        lines = out.strip().splitlines()
+        assert lines[0] == "=====" and lines[1] == "Hello" and lines[2] == "====="
