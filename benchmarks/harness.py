@@ -74,6 +74,16 @@ def bench_scale() -> str:
     return scale
 
 
+def bench_jobs() -> int:
+    """Parallel workers for RPM runs (``RPM_BENCH_JOBS``, default serial)."""
+    return int(os.environ.get("RPM_BENCH_JOBS", "1"))
+
+
+def bench_backend() -> str:
+    """Executor backend for RPM runs (``RPM_BENCH_BACKEND``)."""
+    return os.environ.get("RPM_BENCH_BACKEND", "thread")
+
+
 def suite_names() -> tuple[str, ...]:
     return {"tiny": TINY_SUITE, "small": SMALL_SUITE, "full": FULL_SUITE}[bench_scale()]
 
@@ -113,7 +123,11 @@ def make_method(name: str):
         return TunedLearningShapelets(grid=b["ls_grid"], epochs=b["ls_epochs"], seed=0)
     if name == "RPM":
         return RPMClassifier(
-            direct_budget=b["rpm_budget"], n_splits=b["rpm_splits"], seed=0
+            direct_budget=b["rpm_budget"],
+            n_splits=b["rpm_splits"],
+            seed=0,
+            n_jobs=bench_jobs(),
+            parallel_backend=bench_backend(),
         )
     raise KeyError(name)
 

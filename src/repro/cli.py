@@ -34,6 +34,7 @@ from .core.rpm import RPMClassifier
 from .data import GENERATORS, available_ucr_datasets, load
 from .data.ucr import load_ucr_file
 from .ml.metrics import error_rate
+from .runtime.cache import DEFAULT_CACHE_SIZE
 from .sax.discretize import SaxParams
 
 BASELINES = {
@@ -46,14 +47,20 @@ BASELINES = {
 
 
 def _build_rpm(args) -> RPMClassifier:
+    runtime = dict(
+        n_jobs=args.jobs,
+        parallel_backend=args.parallel_backend,
+        cache_size=args.cache_size,
+    )
     if args.window:
         params = SaxParams(args.window, args.paa, args.alphabet)
-        return RPMClassifier(sax_params=params, gamma=args.gamma, seed=args.seed)
+        return RPMClassifier(sax_params=params, gamma=args.gamma, seed=args.seed, **runtime)
     return RPMClassifier(
         direct_budget=args.budget,
         n_splits=args.splits,
         gamma=args.gamma,
         seed=args.seed,
+        **runtime,
     )
 
 
@@ -172,6 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fixed SAX window (skips parameter search)")
         p.add_argument("--paa", type=int, default=6, help="fixed PAA size")
         p.add_argument("--alphabet", type=int, default=5, help="fixed alphabet size")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="parallel workers (-1 = all CPUs); results are "
+                            "identical to serial")
+        p.add_argument("--parallel-backend", choices=["serial", "thread", "process"],
+                       default="thread", help="parallel execution backend")
+        p.add_argument("--cache-size", type=int, default=DEFAULT_CACHE_SIZE,
+                       help="sliding-window statistics cache entries (0 disables)")
 
     train = sub.add_parser("train", help="train RPM on a dataset")
     train.add_argument("dataset")

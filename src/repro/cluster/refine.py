@@ -109,6 +109,7 @@ def bisect_refine(
     min_split_fraction: float = MIN_SPLIT_FRACTION,
     max_child_diameter_ratio: float = MAX_CHILD_DIAMETER_RATIO,
     min_group_size: int = 2,
+    pairwise: np.ndarray | None = None,
 ) -> list[RefinedCluster]:
     """Recursively 2-way split an aligned member matrix (paper §3.2.2).
 
@@ -124,6 +125,12 @@ def bisect_refine(
         diameter is at most this fraction of the parent diameter.
     min_group_size:
         Groups at or below this size are never split.
+    pairwise:
+        Optional precomputed ``(n, n)`` distance matrix of ``aligned``
+        rows. Callers that already paid for it (e.g. repeated
+        refinement sweeps over one motif) pass it here; every recursion
+        level and every emitted cluster block then reuses slices of the
+        single matrix instead of recomputing distances.
 
     Returns
     -------
@@ -135,7 +142,14 @@ def bisect_refine(
     if aligned.ndim != 2:
         raise ValueError(f"aligned must be 2-D, got {aligned.shape}")
     n = aligned.shape[0]
-    full_pairwise = pairwise_euclidean(aligned)
+    if pairwise is None:
+        full_pairwise = pairwise_euclidean(aligned)
+    else:
+        full_pairwise = np.asarray(pairwise, dtype=float)
+        if full_pairwise.shape != (n, n):
+            raise ValueError(
+                f"pairwise must be ({n}, {n}) to match aligned, got {full_pairwise.shape}"
+            )
     out: list[RefinedCluster] = []
 
     def emit(indices: np.ndarray, block: np.ndarray) -> None:

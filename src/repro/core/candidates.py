@@ -117,6 +117,12 @@ def find_class_candidates(
     return candidates
 
 
+def _class_job(args) -> list[PatternCandidate]:
+    """One class's mining run (module-level so process pools can pickle it)."""
+    instances, label, params, options = args
+    return find_class_candidates(instances, label, params, **options)
+
+
 def find_candidates(
     X: np.ndarray,
     y: np.ndarray,
@@ -126,27 +132,31 @@ def find_candidates(
     prototype: str = "centroid",
     support_mode: str = "instances",
     numerosity_reduction: bool = True,
+    executor=None,
 ) -> list[PatternCandidate]:
     """Algorithm 1 over the full training set.
 
     ``params_by_class`` maps each class label to its (possibly
-    class-specific, see §4.3) :class:`SaxParams`.
+    class-specific, see §4.3) :class:`SaxParams`. Classes are mined
+    independently, so an ``executor``
+    (:class:`~repro.runtime.executor.ParallelExecutor`) fans them out
+    across workers; candidates are concatenated in class-label order
+    regardless of scheduling, matching the serial loop exactly.
     """
     X = np.asarray(X, dtype=float)
     y = np.asarray(y)
-    all_candidates: list[PatternCandidate] = []
-    for label in np.unique(y):
-        params = params_by_class[label]
-        class_instances = [row for row in X[y == label]]
-        all_candidates.extend(
-            find_class_candidates(
-                class_instances,
-                label,
-                params,
-                gamma=gamma,
-                prototype=prototype,
-                support_mode=support_mode,
-                numerosity_reduction=numerosity_reduction,
-            )
-        )
-    return all_candidates
+    options = dict(
+        gamma=gamma,
+        prototype=prototype,
+        support_mode=support_mode,
+        numerosity_reduction=numerosity_reduction,
+    )
+    jobs = [
+        ([row for row in X[y == label]], label, params_by_class[label], options)
+        for label in np.unique(y)
+    ]
+    if executor is None:
+        per_class = [_class_job(job) for job in jobs]
+    else:
+        per_class = executor.map(_class_job, jobs)
+    return [candidate for group in per_class for candidate in group]

@@ -28,6 +28,7 @@ from ..ml.metrics import precision_recall_f1
 from ..ml.svm import SVC
 from ..opt.direct import direct_minimize
 from ..opt.grid import PRUNED_VALUE, grid_search
+from ..runtime.cache import WindowStatsCache
 from ..sax.discretize import SaxParams
 from .candidates import find_candidates
 from .selection import find_distinct
@@ -95,6 +96,7 @@ class ParamSelector:
         cv_folds: int = 5,
         classifier_factory=None,
         seed: int = 0,
+        executor=None,
     ) -> None:
         self.X = np.asarray(X, dtype=float)
         self.y = np.asarray(y)
@@ -108,6 +110,10 @@ class ParamSelector:
         self.cv_folds = cv_folds
         self.classifier_factory = classifier_factory or (lambda: SVC(kernel="rbf", C=1.0))
         self.seed = seed
+        # Shared parallel runtime: per-class mining and validation
+        # transforms inside each evaluation fan out over this executor.
+        self.executor = executor
+        self._stats_cache = WindowStatsCache()
         self.classes_ = np.unique(self.y)
         self._cache: dict[tuple[int, int, int], _Evaluation] = {}
         # Fixed splits shared by every evaluation keeps the comparison fair.
@@ -150,6 +156,7 @@ class ParamSelector:
                     gamma=self.gamma,
                     prototype=self.prototype,
                     support_mode=self.support_mode,
+                    executor=self.executor,
                 )
             except ValueError:
                 continue
@@ -157,9 +164,16 @@ class ParamSelector:
                 # γ-pruning (paper §4.1): nothing frequent enough.
                 continue
             selection = find_distinct(
-                X_tr, y_tr, candidates, tau_percentile=self.tau_percentile
+                X_tr,
+                y_tr,
+                candidates,
+                tau_percentile=self.tau_percentile,
+                executor=self.executor,
+                cache=self._stats_cache,
             )
-            X_val_t = pattern_features(X_val, selection.patterns)
+            X_val_t = pattern_features(
+                X_val, selection.patterns, executor=self.executor, cache=self._stats_cache
+            )
 
             def fit_predict(Xa, ya, Xb):
                 if np.unique(ya).size < 2:

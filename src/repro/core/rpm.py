@@ -25,6 +25,8 @@ from typing import Callable
 import numpy as np
 
 from ..ml.svm import SVC
+from ..runtime.cache import DEFAULT_CACHE_SIZE, WindowStatsCache
+from ..runtime.executor import BACKENDS, ParallelExecutor
 from ..sax.discretize import SaxParams
 from ..sax.znorm import znorm
 from .candidates import find_candidates
@@ -65,6 +67,16 @@ class RPMClassifier:
         (``fit``/``predict``); defaults to the RBF-kernel SVM.
     direct_budget / n_splits / cv_folds / validation_fraction:
         Algorithm 3 budget knobs (see :class:`ParamSelector`).
+    n_jobs:
+        Worker count for the parallel runtime: per-class candidate
+        mining and the per-pattern transform columns fan out across
+        this many workers (``-1`` = all CPUs, ``1`` = serial). Results
+        are bitwise identical for every value — see ``docs/runtime.md``.
+    parallel_backend:
+        ``'thread'`` (default), ``'process'`` or ``'serial'``.
+    cache_size:
+        Entries in the sliding-window statistics LRU cache shared by
+        this classifier's transforms (``0`` disables caching).
     """
 
     def __init__(
@@ -85,9 +97,16 @@ class RPMClassifier:
         validation_fraction: float = 0.3,
         cv_folds: int = 5,
         seed: int = 0,
+        n_jobs: int = 1,
+        parallel_backend: str = "thread",
+        cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
         if param_search not in ("direct", "grid"):
             raise ValueError(f"param_search must be 'direct' or 'grid', got {param_search!r}")
+        if parallel_backend not in BACKENDS:
+            raise ValueError(
+                f"parallel_backend must be one of {BACKENDS}, got {parallel_backend!r}"
+            )
         self.sax_params = sax_params
         self.param_search = param_search
         self.ranges = ranges
@@ -103,6 +122,10 @@ class RPMClassifier:
         self.validation_fraction = validation_fraction
         self.cv_folds = cv_folds
         self.seed = seed
+        self.n_jobs = n_jobs
+        self.parallel_backend = parallel_backend
+        self.cache_size = cache_size
+        self._stats_cache = WindowStatsCache(cache_size)
 
         self.patterns_: list[RepresentativePattern] = []
         self.params_by_class_: dict = {}
@@ -111,6 +134,17 @@ class RPMClassifier:
         self.classes_: np.ndarray | None = None
         self.n_param_evaluations_: int = 0
         self._train_labels: np.ndarray | None = None
+
+    # -- runtime ----------------------------------------------------------------
+
+    def _make_executor(self) -> ParallelExecutor:
+        """A fresh executor honoring ``n_jobs``/``parallel_backend``.
+
+        Created per fit/transform call and closed afterwards so the
+        classifier object itself never holds a pool (and stays
+        picklable/serializable).
+        """
+        return ParallelExecutor(self.n_jobs, self.parallel_backend)
 
     # -- training ---------------------------------------------------------------
 
@@ -124,22 +158,27 @@ class RPMClassifier:
         if self.classes_.size < 2:
             raise ValueError("need at least two classes")
 
-        self.params_by_class_ = self._resolve_params(X, y)
-        candidates = self._mine_with_fallback(X, y)
-        self.selection_ = find_distinct(
-            X,
-            y,
-            candidates,
-            tau_percentile=self.tau_percentile,
-            rotation_invariant=self.rotation_invariant,
-        )
+        with self._make_executor() as executor:
+            self.params_by_class_ = self._resolve_params(X, y, executor)
+            candidates = self._mine_with_fallback(X, y, executor)
+            self.selection_ = find_distinct(
+                X,
+                y,
+                candidates,
+                tau_percentile=self.tau_percentile,
+                rotation_invariant=self.rotation_invariant,
+                executor=executor,
+                cache=self._stats_cache,
+            )
         self.patterns_ = self.selection_.patterns
         self._train_labels = y
         self.classifier_ = self.classifier_factory()
         self.classifier_.fit(self.selection_.train_features, y)
         return self
 
-    def _resolve_params(self, X: np.ndarray, y: np.ndarray) -> dict:
+    def _resolve_params(
+        self, X: np.ndarray, y: np.ndarray, executor: ParallelExecutor | None = None
+    ) -> dict:
         if isinstance(self.sax_params, SaxParams):
             return {label: self.sax_params for label in self.classes_}
         if isinstance(self.sax_params, dict):
@@ -160,6 +199,7 @@ class RPMClassifier:
             cv_folds=self.cv_folds,
             classifier_factory=self.classifier_factory,
             seed=self.seed,
+            executor=executor,
         )
         if self.param_search == "direct":
             params = selector.select_direct(max_evaluations=self.direct_budget)
@@ -168,7 +208,12 @@ class RPMClassifier:
         self.n_param_evaluations_ = selector.n_evaluations
         return params
 
-    def _mine_with_fallback(self, X: np.ndarray, y: np.ndarray) -> list[PatternCandidate]:
+    def _mine_with_fallback(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        executor: ParallelExecutor | None = None,
+    ) -> list[PatternCandidate]:
         """Algorithm 1, relaxing γ if nothing survives the threshold."""
         gamma = self.gamma
         for _ in range(3):
@@ -180,6 +225,7 @@ class RPMClassifier:
                 prototype=self.prototype,
                 support_mode=self.support_mode,
                 numerosity_reduction=self.numerosity_reduction,
+                executor=executor,
             )
             if candidates:
                 return candidates
@@ -208,9 +254,14 @@ class RPMClassifier:
         """Pattern-distance features of new series (n, K)."""
         if not self.patterns_:
             raise RuntimeError("classifier used before fit()")
-        return pattern_features(
-            X, self.patterns_, rotation_invariant=self.rotation_invariant
-        )
+        with self._make_executor() as executor:
+            return pattern_features(
+                X,
+                self.patterns_,
+                rotation_invariant=self.rotation_invariant,
+                executor=executor,
+                cache=self._stats_cache,
+            )
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predict a class label for every row of ``X``."""

@@ -129,12 +129,17 @@ def find_distinct(
     tau_percentile: float = DEFAULT_TAU_PERCENTILE,
     rotation_invariant: bool = False,
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
+    executor=None,
+    cache=None,
 ) -> SelectionResult:
     """Algorithm 2 end to end.
 
     Returns the representative patterns plus the transformed training
     matrix restricted to the selected features (handy for fitting the
     downstream classifier without recomputing distances).
+
+    ``executor``/``cache`` are forwarded to the training-set feature
+    transform (stage 3), the step that dominates Algorithm 2's cost.
     """
     if not candidates:
         raise ValueError("no candidates to select from")
@@ -145,7 +150,9 @@ def find_distinct(
     capped = _cap_candidates(candidates, max_candidates)
     deduped = remove_similar(capped, tau)
 
-    features = pattern_features(X, deduped, rotation_invariant=rotation_invariant)
+    features = pattern_features(
+        X, deduped, rotation_invariant=rotation_invariant, executor=executor, cache=cache
+    )
     result = cfs_select(features, y)
     patterns = [
         RepresentativePattern(

@@ -6,6 +6,15 @@ Transformation" and §3.1). The rotation-invariant variant additionally
 matches against the series cut at its midpoint with halves swapped and
 keeps the minimum (§6.1), so a pattern broken by a rotation is still
 found whole in one of the two copies.
+
+Runtime: each pattern's feature column is one call into the sliding-
+window kernel, whose per-(series, length) statistics come from a
+:class:`~repro.runtime.cache.WindowStatsCache` — every pattern of a
+given length reuses one cumulative-sum precomputation. Columns are
+independent, so a :class:`~repro.runtime.executor.ParallelExecutor`
+can fan them out across threads or processes; scheduling never changes
+the floating-point expressions, keeping results bitwise identical to
+the serial loop.
 """
 
 from __future__ import annotations
@@ -15,7 +24,9 @@ from typing import Sequence
 import numpy as np
 
 from ..data.rotate import halfway_rotation
-from ..distance.best_match import batch_best_distances, best_match
+from ..distance.best_match import best_match
+from ..runtime.cache import WindowStatsCache, default_cache
+from ..runtime.kernel import sliding_best_distances
 
 __all__ = ["pattern_features", "pattern_feature_row"]
 
@@ -45,17 +56,44 @@ def pattern_feature_row(
     return row
 
 
+def _feature_block(args) -> np.ndarray:
+    """Feature columns for one chunk of patterns (picklable worker).
+
+    ``cache=None`` means "build a fresh local cache" — the process
+    backend ships this worker to other interpreters where the shared
+    cache does not exist.
+    """
+    values_list, X, X_rot, cache, token, token_rot = args
+    if cache is None:
+        cache = WindowStatsCache(max(4, 2 * len(values_list)))
+        token = token_rot = None
+    out = np.empty((X.shape[0], len(values_list)))
+    for k, values in enumerate(values_list):
+        dist = sliding_best_distances(values, X, cache=cache, token=token)
+        if X_rot is not None:
+            dist = np.minimum(
+                dist, sliding_best_distances(values, X_rot, cache=cache, token=token_rot)
+            )
+        out[:, k] = dist
+    return out
+
+
 def pattern_features(
     X: np.ndarray,
     patterns: Sequence,
     *,
     rotation_invariant: bool = False,
+    executor=None,
+    cache: WindowStatsCache | None = None,
 ) -> np.ndarray:
     """Transform ``(n, m)`` series into ``(n, K)`` pattern distances.
 
-    Computed one pattern at a time with the batched closest-match
-    kernel, which is the dominant cost of both training (Algorithm 2's
-    transform) and classification.
+    Computed one pattern column at a time with the cached sliding-
+    window kernel — the dominant cost of both training (Algorithm 2's
+    transform) and classification. ``executor`` (a
+    :class:`~repro.runtime.executor.ParallelExecutor`) fans the columns
+    out across workers; ``cache`` overrides the process-wide default
+    statistics cache. Output is independent of both choices.
     """
     X = np.asarray(X, dtype=float)
     if X.ndim != 2:
@@ -65,11 +103,27 @@ def pattern_features(
     X_rot = None
     if rotation_invariant:
         X_rot = np.column_stack([X[:, X.shape[1] // 2 :], X[:, : X.shape[1] // 2]])
-    out = np.empty((X.shape[0], len(patterns)))
-    for k, pattern in enumerate(patterns):
-        values = _pattern_values(pattern)
-        dist = batch_best_distances(values, X)
-        if X_rot is not None:
-            dist = np.minimum(dist, batch_best_distances(values, X_rot))
-        out[:, k] = dist
-    return out
+
+    values_list = [_pattern_values(p) for p in patterns]
+    serial = executor is None or executor.backend == "serial"
+    if serial or executor.backend == "thread":
+        shared_cache = cache if cache is not None else default_cache()
+        token = shared_cache.token(X)
+        token_rot = shared_cache.token(X_rot) if X_rot is not None else None
+    else:
+        # Process workers rebuild statistics locally; chunking by
+        # contiguous blocks keeps each (length, chunk) rebuilt once.
+        shared_cache = token = token_rot = None
+
+    if serial:
+        return _feature_block((values_list, X, X_rot, shared_cache, token, token_rot))
+
+    n_chunks = min(len(values_list), executor.n_jobs * 4)
+    bounds = np.linspace(0, len(values_list), n_chunks + 1).astype(int)
+    jobs = [
+        (values_list[lo:hi], X, X_rot, shared_cache, token, token_rot)
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
+    blocks = executor.map(_feature_block, jobs)
+    return np.concatenate(blocks, axis=1)

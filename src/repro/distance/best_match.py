@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..runtime.kernel import SlidingWindowStats, resample_pattern
 from ..sax.znorm import NORM_THRESHOLD, znorm
 from .euclidean import euclidean_early_abandon
 
@@ -44,13 +45,10 @@ class Match:
     length: int
 
 
-def _resample(pattern: np.ndarray, length: int) -> np.ndarray:
-    """Linear-interpolation resample used when the pattern is longer
-    than the series it is matched against (rare; happens when a motif
-    learned on long concatenated data meets a short test series)."""
-    old = np.linspace(0.0, 1.0, num=pattern.size)
-    new = np.linspace(0.0, 1.0, num=length)
-    return np.interp(new, old, pattern)
+# Resampling for patterns longer than the series they are matched
+# against lives in the runtime kernel; kept under the old private name
+# for the in-module callers below.
+_resample = resample_pattern
 
 
 def distance_profile(pattern: np.ndarray, series: np.ndarray) -> np.ndarray:
@@ -117,47 +115,17 @@ def batch_distance_profiles(pattern: np.ndarray, X: np.ndarray) -> np.ndarray:
     Vectorized across series: one (n, J) result instead of n separate
     :func:`distance_profile` calls. Rows must be at least as long as
     the pattern (the transform resamples otherwise — see
-    :func:`batch_best_distances`).
+    :func:`batch_best_distances`). Delegates to the runtime kernel
+    (:class:`~repro.runtime.kernel.SlidingWindowStats`), which the
+    feature transform additionally caches per (series, length).
     """
     pattern = np.asarray(pattern, dtype=float)
     X = np.asarray(X, dtype=float)
     if X.ndim != 2:
         raise ValueError("batch_distance_profiles expects a 2-D series matrix")
-    n_rows, m = X.shape
-    if pattern.size > m:
-        pattern = _resample(pattern, m)
-    L = pattern.size
-    q = znorm(pattern)
-    q_is_flat = not q.any()
-
-    # Center rows to keep the rolling-variance identity numerically
-    # stable (see distance_profile).
-    X = X - X.mean(axis=1, keepdims=True)
-
-    cumsum = np.cumsum(X, axis=1)
-    cumsum = np.concatenate([np.zeros((n_rows, 1)), cumsum], axis=1)
-    cumsum2 = np.cumsum(X * X, axis=1)
-    cumsum2 = np.concatenate([np.zeros((n_rows, 1)), cumsum2], axis=1)
-    window_sum = cumsum[:, L:] - cumsum[:, :-L]
-    window_sum2 = cumsum2[:, L:] - cumsum2[:, :-L]
-    mean = window_sum / L
-    var = window_sum2 / L - mean * mean
-    np.maximum(var, 0.0, out=var)
-    sd = np.sqrt(var)
-    # Same magnitude-relative noise floor as distance_profile.
-    rms = np.sqrt(cumsum2[:, -1:] / max(m, 1))
-    flat = sd < np.maximum(NORM_THRESHOLD, 1e-7 * rms)
-
-    windows = np.lib.stride_tricks.sliding_window_view(X, L, axis=1)
-    dot = windows @ q  # (n, J)
-
-    safe_sd = np.where(flat, 1.0, sd)
-    d2 = 2.0 * L - 2.0 * dot / safe_sd
-    d2[flat] = 0.0 if q_is_flat else float(q @ q)
-    if q_is_flat:
-        d2[~flat] = float(L)
-    np.maximum(d2, 0.0, out=d2)
-    return np.sqrt(d2)
+    if pattern.size > X.shape[1]:
+        pattern = _resample(pattern, X.shape[1])
+    return SlidingWindowStats(X, pattern.size).profiles(pattern)
 
 
 def batch_best_distances(pattern: np.ndarray, X: np.ndarray) -> np.ndarray:

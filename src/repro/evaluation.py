@@ -109,9 +109,18 @@ def evaluate(
     dataset: Dataset,
     *,
     name: str | None = None,
+    n_jobs: int | None = None,
 ) -> EvalResult:
-    """Fit a fresh model on the dataset's train split, score the test split."""
+    """Fit a fresh model on the dataset's train split, score the test split.
+
+    ``n_jobs`` overrides the parallel worker count on models that
+    support it (anything exposing an ``n_jobs`` attribute, like
+    :class:`~repro.core.rpm.RPMClassifier`); other models ignore it.
+    Parallelism never changes predictions — only wall-clock.
+    """
     model = method_factory()
+    if n_jobs is not None and hasattr(model, "n_jobs"):
+        model.n_jobs = n_jobs
     label = name or type(model).__name__
     start = time.perf_counter()
     model.fit(dataset.X_train, dataset.y_train)
@@ -133,12 +142,14 @@ def compare(
     datasets: Sequence[Dataset],
     *,
     verbose: bool = False,
+    n_jobs: int | None = None,
 ) -> ComparisonTable:
     """Evaluate every method on every dataset.
 
     ``methods`` maps display name to a zero-argument factory; a fresh
     model is constructed per (method, dataset) pair so state never
-    leaks between runs.
+    leaks between runs. ``n_jobs`` is forwarded to every evaluation
+    (see :func:`evaluate`).
     """
     if not methods:
         raise ValueError("methods must be non-empty")
@@ -149,7 +160,7 @@ def compare(
     )
     for dataset in datasets:
         for name, factory in methods.items():
-            result = evaluate(factory, dataset, name=name)
+            result = evaluate(factory, dataset, name=name, n_jobs=n_jobs)
             table.results[(name, dataset.name)] = result
             if verbose:
                 print(

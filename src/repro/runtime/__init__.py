@@ -1,0 +1,39 @@
+"""Parallel/caching runtime for the RPM pipeline.
+
+The pipeline's two dominant costs are embarrassingly parallel — the
+per-class candidate mining of Algorithm 1 and the per-pattern
+closest-match columns of the feature transform — and both recompute
+sliding-window statistics that depend only on the series matrix and a
+window length. This package factors that out:
+
+``executor``
+    :class:`ParallelExecutor` — one ``map`` abstraction over serial,
+    thread and process backends with ordered, chunked work submission.
+``kernel``
+    :class:`SlidingWindowStats` — per-(series matrix, window length)
+    rolling statistics (cumulative sums) that turn each pattern's
+    distance profile into a single mat-vec.
+``cache``
+    :class:`WindowStatsCache` — LRU cache of kernel statistics keyed on
+    (series fingerprint, window length), so every pattern of a given
+    length reuses one precomputation.
+
+Determinism guarantee: parallelism only changes *scheduling*, never the
+floating-point expressions, so results are bitwise identical across
+backends and ``n_jobs`` values (see ``docs/runtime.md``).
+"""
+
+from .cache import DEFAULT_CACHE_SIZE, WindowStatsCache, default_cache
+from .executor import ParallelExecutor, resolve_n_jobs
+from .kernel import SlidingWindowStats, resample_pattern, sliding_best_distances
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "ParallelExecutor",
+    "SlidingWindowStats",
+    "WindowStatsCache",
+    "default_cache",
+    "resample_pattern",
+    "resolve_n_jobs",
+    "sliding_best_distances",
+]

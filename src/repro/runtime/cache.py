@@ -1,0 +1,118 @@
+"""LRU cache of sliding-window statistics.
+
+Keyed on ``(series fingerprint, window length)``: the fingerprint is a
+content hash of the series matrix, so a mutated or different matrix can
+never alias a cached entry, while repeated transforms of the same data
+(training transform, Algorithm 2 de-duplication, every predict call on
+a held-out set) hit the cache for each distinct pattern length.
+
+Entries are whole :class:`~repro.runtime.kernel.SlidingWindowStats`
+objects — the O(n·m) precomputation — and eviction is least-recently-
+used by (fingerprint, length) pair. The cache is thread-safe; with the
+process backend each worker builds its own small local cache instead
+(statistics are not worth shipping across process boundaries).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from .kernel import SlidingWindowStats
+
+__all__ = ["DEFAULT_CACHE_SIZE", "WindowStatsCache", "default_cache"]
+
+#: Default maximum number of (series, length) entries. Pattern lengths
+#: cluster around the per-class SAX windows, so a handful of entries
+#: covers a full transform.
+DEFAULT_CACHE_SIZE = 16
+
+
+class WindowStatsCache:
+    """Thread-safe LRU cache of :class:`SlidingWindowStats`.
+
+    Parameters
+    ----------
+    max_entries:
+        Entry cap; the least recently used (series, length) pair is
+        evicted past it. ``0`` disables caching (every call computes
+        fresh statistics) while keeping the interface.
+
+    Counters ``hits`` / ``misses`` / ``evictions`` are exposed for
+    tests and diagnostics.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[tuple, SlidingWindowStats] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def token(X: np.ndarray) -> str:
+        """Content fingerprint of a series matrix.
+
+        Hashing the bytes is O(n·m) but runs at memory bandwidth —
+        negligible next to the O(n·m·J) transform it guards — and makes
+        stale hits impossible (mutated data hashes to a new key).
+        """
+        X = np.ascontiguousarray(np.asarray(X, dtype=float))
+        digest = hashlib.blake2b(X.tobytes(), digest_size=16)
+        digest.update(repr(X.shape).encode())
+        return digest.hexdigest()
+
+    def stats(
+        self, X: np.ndarray, length: int, *, token: str | None = None
+    ) -> SlidingWindowStats:
+        """Fetch (or build and insert) the statistics for ``(X, length)``."""
+        if self.max_entries == 0:
+            self.misses += 1
+            return SlidingWindowStats(X, length)
+        if token is None:
+            token = self.token(X)
+        key = (token, int(length))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+            self.misses += 1
+        # Build outside the lock: concurrent misses on the same key may
+        # duplicate work but never corrupt state (last writer wins).
+        entry = SlidingWindowStats(X, length)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return entry
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+
+_default_cache: WindowStatsCache | None = None
+_default_lock = threading.Lock()
+
+
+def default_cache() -> WindowStatsCache:
+    """The process-wide shared cache (lazily created)."""
+    global _default_cache
+    with _default_lock:
+        if _default_cache is None:
+            _default_cache = WindowStatsCache(DEFAULT_CACHE_SIZE)
+        return _default_cache

@@ -126,3 +126,28 @@ class TestPrototypes:
             pairwise=np.zeros((1, 1)),
         )
         assert cluster.within_distances().size == 0
+
+
+class TestPairwiseReuse:
+    def test_precomputed_pairwise_matches_internal(self):
+        from repro.distance.euclidean import pairwise_euclidean
+
+        # Local generator: keeps the shared session rng stream (which
+        # later modules' data depends on) untouched.
+        local = np.random.default_rng(55)
+        aligned = np.vstack(
+            [local.standard_normal(12), local.standard_normal(12) + 5]
+            * 4
+        )
+        pairwise = pairwise_euclidean(aligned)
+        internal = bisect_refine(aligned)
+        reused = bisect_refine(aligned, pairwise=pairwise)
+        assert len(internal) == len(reused)
+        for a, b in zip(internal, reused):
+            assert a.member_indices == b.member_indices
+            np.testing.assert_array_equal(a.pairwise, b.pairwise)
+
+    def test_pairwise_shape_mismatch_rejected(self):
+        aligned = np.random.default_rng(56).standard_normal((5, 10))
+        with pytest.raises(ValueError, match="pairwise"):
+            bisect_refine(aligned, pairwise=np.zeros((4, 4)))

@@ -5,6 +5,7 @@ Each example is executed as a subprocess from the examples directory
 with its headline output present.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,6 +13,7 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+SRC_DIR = Path(__file__).parent.parent / "src"
 
 CASES = [
     ("quickstart.py", "Representative patterns"),
@@ -27,12 +29,18 @@ CASES = [
 
 @pytest.mark.parametrize("script,marker", CASES, ids=[c[0] for c in CASES])
 def test_example_runs(script, marker):
+    # The examples import ``repro`` from the source tree; prepend it to
+    # PYTHONPATH so the subprocesses resolve it without an install.
+    pythonpath = os.pathsep.join(
+        p for p in (str(SRC_DIR), os.environ.get("PYTHONPATH", "")) if p
+    )
     result = subprocess.run(
         [sys.executable, script],
         cwd=EXAMPLES_DIR,
         capture_output=True,
         text=True,
         timeout=600,
+        env={**os.environ, "PYTHONPATH": pythonpath},
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert marker in result.stdout
