@@ -75,21 +75,47 @@ def test_table2_runtime(benchmark, suite_results, suite_names):
         }
 
 
-def _timed_rpm_run(dataset, n_jobs: int, backend: str):
-    """Fit + transform RPM once; returns (seconds, predictions)."""
-    from repro import RPMClassifier, SaxParams
+#: Top-level pipeline stages reported in the speedup table. ``mine``
+#: and ``transform`` are the parallel stages; ``select`` and
+#: ``classifier`` run serially and bound the achievable speedup.
+STAGES = ("mine", "select", "classifier", "transform")
 
+
+def _stage_seconds(tracer) -> dict[str, float]:
+    """Per-stage wall time extracted from a traced run's span forest.
+
+    Sums same-named spans at any depth under the roots, so the ``fit``
+    children (``mine``/``select``/``classifier``) and the standalone
+    ``transform`` roots of later calls land in one dict.
+    """
+    totals = {stage: 0.0 for stage in STAGES}
+    for root in tracer.roots:
+        for span, _depth in root.walk():
+            if span.name in totals and (
+                span.parent is None or span.parent.name not in totals
+            ):
+                totals[span.name] += span.duration
+    return totals
+
+
+def _timed_rpm_run(dataset, n_jobs: int, backend: str):
+    """Fit + transform RPM once; returns (seconds, predictions, stages)."""
+    from repro import RPMClassifier, SaxParams
+    from repro.obs import Tracer
+
+    tracer = Tracer()
     clf = RPMClassifier(
         sax_params=SaxParams(window_size=18, paa_size=5, alphabet_size=4),
         seed=0,
         n_jobs=n_jobs,
         parallel_backend=backend,
+        trace=tracer,
     )
     t0 = time.perf_counter()
     clf.fit(dataset.X_train, dataset.y_train)
     clf.transform(dataset.X_test)
     elapsed = time.perf_counter() - t0
-    return elapsed, clf.predict(dataset.X_test)
+    return elapsed, clf.predict(dataset.X_test), _stage_seconds(tracer)
 
 
 def test_rpm_parallel_speedup(benchmark):
@@ -109,24 +135,34 @@ def test_rpm_parallel_speedup(benchmark):
     if backend == "serial":
         backend = "thread"
 
-    serial_time, serial_preds = benchmark.pedantic(
+    serial_time, serial_preds, serial_stages = benchmark.pedantic(
         lambda: _timed_rpm_run(dataset, 1, "serial"), rounds=1, iterations=1
     )
-    rows = [["serial", f"{serial_time:.2f}", "1.00"]]
+
+    def stage_cells(stages):
+        return [f"{stages[s]:.2f}" for s in STAGES]
+
+    rows = [["serial", f"{serial_time:.2f}", "1.00", *stage_cells(serial_stages)]]
     speedups = {}
     for n_jobs in (2, 4):
-        elapsed, preds = _timed_rpm_run(dataset, n_jobs, backend)
+        elapsed, preds, stages = _timed_rpm_run(dataset, n_jobs, backend)
         assert np.array_equal(serial_preds, preds), (
             f"parallel predictions diverged at n_jobs={n_jobs}"
         )
         speedups[n_jobs] = serial_time / max(elapsed, 1e-9)
-        rows.append([f"n_jobs={n_jobs}", f"{elapsed:.2f}", f"{speedups[n_jobs]:.2f}"])
+        rows.append(
+            [f"n_jobs={n_jobs}", f"{elapsed:.2f}", f"{speedups[n_jobs]:.2f}",
+             *stage_cells(stages)]
+        )
 
     cpus = os.cpu_count() or 1
     report = "\n".join(
         [
             f"RPM train+transform, SyntheticControl, backend={backend}, {cpus} CPUs",
-            harness.format_table(["config", "seconds", "speedup"], rows),
+            "(per-stage columns are wall seconds from the repro.obs span tree)",
+            harness.format_table(
+                ["config", "seconds", "speedup", *STAGES], rows
+            ),
         ]
     )
     harness.write_report("table2_parallel_speedup", report)

@@ -8,6 +8,11 @@ pair, exactly like the paper reports both numbers from one run.
 Scale control: set ``RPM_BENCH_SUITE`` to ``tiny`` (3 datasets, small
 budgets — smoke test), ``small`` (8 datasets — the default) or ``full``
 (all 16 UCR-like datasets).
+
+Observability: set ``RPM_BENCH_METRICS`` to a path and every RPM run is
+traced (``repro.obs``); the spans plus the process-wide metric counters
+are dumped there as JSON lines whenever a report is written. CI uploads
+the resulting file as a build artifact.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from repro.baselines import (
 )
 from repro.data import load
 from repro.ml.metrics import error_rate
+from repro.obs import Tracer, registry, write_jsonl
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -84,6 +90,35 @@ def bench_backend() -> str:
     return os.environ.get("RPM_BENCH_BACKEND", "thread")
 
 
+def bench_metrics_path() -> Path | None:
+    """Where to dump spans + metrics (``RPM_BENCH_METRICS``), if anywhere."""
+    path = os.environ.get("RPM_BENCH_METRICS")
+    return Path(path) if path else None
+
+
+#: One tracer shared by every RPM bench run, so the dumped span forest
+#: covers the whole suite. ``None`` when metrics are off — the
+#: classifiers then run with the zero-cost no-op tracer.
+BENCH_TRACER = Tracer() if bench_metrics_path() else None
+
+
+def flush_metrics() -> Path | None:
+    """Dump the bench tracer + registry to ``RPM_BENCH_METRICS``.
+
+    Called from :func:`write_report` so every table that lands in
+    ``benchmarks/results/`` refreshes the metrics artifact alongside it.
+    """
+    path = bench_metrics_path()
+    if path is None:
+        return None
+    return write_jsonl(
+        path,
+        tracer=BENCH_TRACER,
+        metrics=registry(),
+        meta={"suite": bench_scale(), "jobs": bench_jobs(), "backend": bench_backend()},
+    )
+
+
 def suite_names() -> tuple[str, ...]:
     return {"tiny": TINY_SUITE, "small": SMALL_SUITE, "full": FULL_SUITE}[bench_scale()]
 
@@ -128,6 +163,7 @@ def make_method(name: str):
             seed=0,
             n_jobs=bench_jobs(),
             parallel_backend=bench_backend(),
+            trace=BENCH_TRACER,
         )
     raise KeyError(name)
 
@@ -202,6 +238,7 @@ def write_report(name: str, text: str) -> Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(text)
+    flush_metrics()
     return path
 
 

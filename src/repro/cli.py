@@ -34,6 +34,7 @@ from .core.rpm import RPMClassifier
 from .data import GENERATORS, available_ucr_datasets, load
 from .data.ucr import load_ucr_file
 from .ml.metrics import error_rate
+from .obs import Tracer, format_tree, registry, write_jsonl
 from .runtime.cache import DEFAULT_CACHE_SIZE
 from .sax.discretize import SaxParams
 
@@ -46,11 +47,65 @@ BASELINES = {
 }
 
 
-def _build_rpm(args) -> RPMClassifier:
+def _positive_int(text: str) -> int:
+    """Argparse type for flags that must be strictly positive.
+
+    Rejecting zero and negatives at the parser gives a clear usage
+    error instead of a traceback (or a degenerate LRU) deep inside the
+    pipeline.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _jobs_count(text: str) -> int:
+    """Argparse type for ``--jobs``: a positive worker count or -1 (all CPUs)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value == 0 or value < -1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive worker count or -1 for all CPUs, got {value}"
+        )
+    return value
+
+
+def _tracer_for(args) -> Tracer | None:
+    """A live tracer when ``--trace``/``--metrics-out`` ask for one."""
+    if getattr(args, "trace", False) or getattr(args, "metrics_out", None):
+        return Tracer()
+    return None
+
+
+def _emit_observability(args, tracer: Tracer | None) -> None:
+    """Print the span tree and/or write the JSON-lines dump."""
+    if tracer is None:
+        return
+    if args.trace:
+        print("\n-- trace --")
+        print(format_tree(tracer))
+    if args.metrics_out:
+        path = write_jsonl(
+            args.metrics_out,
+            tracer=tracer,
+            metrics=registry(),
+            meta={"command": args.command, "dataset": getattr(args, "dataset", None)},
+        )
+        print(f"metrics written to {path}")
+
+
+def _build_rpm(args, tracer: Tracer | None = None) -> RPMClassifier:
     runtime = dict(
         n_jobs=args.jobs,
         parallel_backend=args.parallel_backend,
         cache_size=args.cache_size,
+        trace=tracer,
     )
     if args.window:
         params = SaxParams(args.window, args.paa, args.alphabet)
@@ -80,7 +135,8 @@ def cmd_datasets(_args) -> int:
 def cmd_train(args) -> int:
     """``repro train``: fit RPM on a dataset, optionally save it."""
     dataset = load(args.dataset)
-    clf = _build_rpm(args)
+    tracer = _tracer_for(args)
+    clf = _build_rpm(args, tracer)
     start = time.perf_counter()
     clf.fit(dataset.X_train, dataset.y_train)
     elapsed = time.perf_counter() - start
@@ -90,14 +146,16 @@ def cmd_train(args) -> int:
     if args.output:
         save_model(clf, args.output)
         print(f"model saved to {args.output}")
+    _emit_observability(args, tracer)
     return 0
 
 
 def cmd_evaluate(args) -> int:
     """``repro evaluate``: score one method on one dataset."""
     dataset = load(args.dataset)
+    tracer = _tracer_for(args) if args.method == "RPM" else None
     if args.method == "RPM":
-        model = _build_rpm(args)
+        model = _build_rpm(args, tracer)
     else:
         model = BASELINES[args.method]()
     start = time.perf_counter()
@@ -111,6 +169,7 @@ def cmd_evaluate(args) -> int:
         f"{dataset.name} / {args.method}: error {err:.3f} "
         f"(train {train_time:.1f}s, classify {test_time:.1f}s)"
     )
+    _emit_observability(args, tracer)
     return 0
 
 
@@ -179,13 +238,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fixed SAX window (skips parameter search)")
         p.add_argument("--paa", type=int, default=6, help="fixed PAA size")
         p.add_argument("--alphabet", type=int, default=5, help="fixed alphabet size")
-        p.add_argument("--jobs", type=int, default=1,
+        p.add_argument("--jobs", type=_jobs_count, default=1,
                        help="parallel workers (-1 = all CPUs); results are "
                             "identical to serial")
         p.add_argument("--parallel-backend", choices=["serial", "thread", "process"],
                        default="thread", help="parallel execution backend")
-        p.add_argument("--cache-size", type=int, default=DEFAULT_CACHE_SIZE,
-                       help="sliding-window statistics cache entries (0 disables)")
+        p.add_argument("--cache-size", type=_positive_int, default=DEFAULT_CACHE_SIZE,
+                       help="sliding-window statistics cache entries (must be "
+                            "positive; the library-level WindowStatsCache(0) "
+                            "remains available for uncached runs)")
+        p.add_argument("--trace", action="store_true",
+                       help="print a per-stage span tree (wall times) after the run")
+        p.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write spans + metrics as JSON lines to PATH")
 
     train = sub.add_parser("train", help="train RPM on a dataset")
     train.add_argument("dataset")

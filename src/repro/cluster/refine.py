@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..distance.euclidean import pairwise_euclidean
+from ..obs.tracer import NOOP
 from ..sax.znorm import znorm, znorm_rows
 from .linkage import agglomerate, cut_k
 
@@ -110,6 +111,7 @@ def bisect_refine(
     max_child_diameter_ratio: float = MAX_CHILD_DIAMETER_RATIO,
     min_group_size: int = 2,
     pairwise: np.ndarray | None = None,
+    tracer=NOOP,
 ) -> list[RefinedCluster]:
     """Recursively 2-way split an aligned member matrix (paper §3.2.2).
 
@@ -131,6 +133,11 @@ def bisect_refine(
         refinement sweeps over one motif) pass it here; every recursion
         level and every emitted cluster block then reuses slices of the
         single matrix instead of recomputing distances.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; each call records a
+        ``bisect`` span with member/cluster/split counters (same-named
+        sibling spans are aggregated by the tree emitter, so per-motif
+        calls fold into one line).
 
     Returns
     -------
@@ -151,6 +158,7 @@ def bisect_refine(
                 f"pairwise must be ({n}, {n}) to match aligned, got {full_pairwise.shape}"
             )
     out: list[RefinedCluster] = []
+    n_splits = 0
 
     def emit(indices: np.ndarray, block: np.ndarray) -> None:
         out.append(
@@ -162,6 +170,7 @@ def bisect_refine(
         )
 
     def recurse(indices: np.ndarray) -> None:
+        nonlocal n_splits
         group_size = indices.size
         block = full_pairwise[np.ix_(indices, indices)]
         if group_size <= min_group_size:
@@ -182,10 +191,15 @@ def bisect_refine(
         if parent_diameter <= 0 or child_diameter > max_child_diameter_ratio * parent_diameter:
             emit(indices, block)
             return
+        n_splits += 1
         recurse(left)
         recurse(right)
 
-    recurse(np.arange(n))
+    with tracer.span("bisect") as span:
+        recurse(np.arange(n))
+        span.add("bisect.members", n)
+        span.add("bisect.splits", n_splits)
+        span.add("bisect.clusters", len(out))
     return out
 
 

@@ -22,6 +22,8 @@ from ..cluster.refine import (
     medoid_of,
 )
 from ..grammar.inference import RuleMotif, discretize_class, induce_motifs
+from ..obs.metrics import registry
+from ..obs.tracer import NOOP
 from ..sax.discretize import SaxParams
 from .patterns import PatternCandidate
 
@@ -44,6 +46,7 @@ def find_class_candidates(
     support_mode: str = "instances",
     numerosity_reduction: bool = True,
     min_split_fraction: float = 0.3,
+    tracer=NOOP,
 ) -> list[PatternCandidate]:
     """Candidates for one class (the inner loop of Algorithm 1).
 
@@ -69,6 +72,12 @@ def find_class_candidates(
         Disable only for ablation studies.
     min_split_fraction:
         The 30 % rule of the bisection refinement.
+    tracer:
+        An :class:`~repro.obs.tracer.Tracer` recording the
+        ``discretize`` / ``grammar`` / ``refine`` stage spans (the
+        shared no-op by default). Candidate counts additionally go to
+        the process-wide metrics registry (``candidates.generated``,
+        ``candidates.dropped_support``, ``grammar.rules``).
     """
     if prototype not in _PROTOTYPES:
         raise ValueError(f"prototype must be one of {_PROTOTYPES}, got {prototype!r}")
@@ -77,43 +86,66 @@ def find_class_candidates(
     if support_mode not in ("instances", "occurrences"):
         raise ValueError(f"unknown support_mode {support_mode!r}")
 
-    record, starts, lengths = discretize_class(
-        instances, params, numerosity_reduction=numerosity_reduction
-    )
-    series = np.concatenate([np.asarray(inst, dtype=float).ravel() for inst in instances])
-    motifs = induce_motifs(record, starts, lengths)
-    n_instances = len(instances)
-    min_support = max(2, int(np.ceil(gamma * n_instances)))
+    metrics = registry()
+    with tracer.span("class", label=str(label)):
+        with tracer.span("discretize"):
+            record, starts, lengths = discretize_class(
+                instances, params, numerosity_reduction=numerosity_reduction
+            )
+        series = np.concatenate(
+            [np.asarray(inst, dtype=float).ravel() for inst in instances]
+        )
+        with tracer.span("grammar") as grammar_span:
+            motifs = induce_motifs(record, starts, lengths)
+            grammar_span.add("grammar.rules", len(motifs))
+        metrics.inc("grammar.rules", len(motifs))
+        n_instances = len(instances)
+        min_support = max(2, int(np.ceil(gamma * n_instances)))
 
-    candidates: list[PatternCandidate] = []
-    for motif in motifs:
-        subsequences = _occurrence_subsequences(series, motif)
-        if len(subsequences) < 2:
-            continue
-        aligned = align_subsequences(subsequences)
-        clusters = bisect_refine(aligned, min_split_fraction=min_split_fraction)
-        for cluster in clusters:
-            instances_covered = {
-                motif.occurrences[i].instance for i in cluster.member_indices
-            }
-            measure = (
-                len(instances_covered) if support_mode == "instances" else cluster.size
-            )
-            if measure < min_support:
-                continue
-            values = centroid_of(cluster) if prototype == "centroid" else medoid_of(cluster)
-            candidates.append(
-                PatternCandidate(
-                    values=values,
-                    label=label,
-                    frequency=cluster.size,
-                    support=len(instances_covered),
-                    rule_id=motif.rule_id,
-                    words=motif.words,
-                    sax_params=params,
-                    within_distances=cluster.within_distances(),
+        candidates: list[PatternCandidate] = []
+        dropped_support = 0
+        with tracer.span("refine") as refine_span:
+            for motif in motifs:
+                subsequences = _occurrence_subsequences(series, motif)
+                if len(subsequences) < 2:
+                    continue
+                aligned = align_subsequences(subsequences)
+                clusters = bisect_refine(
+                    aligned, min_split_fraction=min_split_fraction, tracer=tracer
                 )
-            )
+                for cluster in clusters:
+                    instances_covered = {
+                        motif.occurrences[i].instance for i in cluster.member_indices
+                    }
+                    measure = (
+                        len(instances_covered)
+                        if support_mode == "instances"
+                        else cluster.size
+                    )
+                    if measure < min_support:
+                        dropped_support += 1
+                        continue
+                    values = (
+                        centroid_of(cluster)
+                        if prototype == "centroid"
+                        else medoid_of(cluster)
+                    )
+                    candidates.append(
+                        PatternCandidate(
+                            values=values,
+                            label=label,
+                            frequency=cluster.size,
+                            support=len(instances_covered),
+                            rule_id=motif.rule_id,
+                            words=motif.words,
+                            sax_params=params,
+                            within_distances=cluster.within_distances(),
+                        )
+                    )
+            refine_span.add("candidates.generated", len(candidates))
+            refine_span.add("candidates.dropped_support", dropped_support)
+    metrics.inc("candidates.generated", len(candidates))
+    metrics.inc("candidates.dropped_support", dropped_support)
     return candidates
 
 
@@ -133,6 +165,7 @@ def find_candidates(
     support_mode: str = "instances",
     numerosity_reduction: bool = True,
     executor=None,
+    tracer=NOOP,
 ) -> list[PatternCandidate]:
     """Algorithm 1 over the full training set.
 
@@ -142,21 +175,34 @@ def find_candidates(
     (:class:`~repro.runtime.executor.ParallelExecutor`) fans them out
     across workers; candidates are concatenated in class-label order
     regardless of scheduling, matching the serial loop exactly.
+
+    The whole call is one ``mine`` span; per-class ``discretize`` /
+    ``grammar`` / ``refine`` child spans nest under it — including from
+    thread-backend workers (the span is *adopted* as their ambient
+    parent). Process-backend workers run untraced (a tracer cannot
+    cross the process boundary), leaving only the chunk-level executor
+    timings.
     """
     X = np.asarray(X, dtype=float)
     y = np.asarray(y)
+    # Tracer state (locks, thread-locals) is not picklable: strip it
+    # from jobs that will be shipped to other processes.
+    job_tracer = tracer if executor is None or executor.backend != "process" else NOOP
     options = dict(
         gamma=gamma,
         prototype=prototype,
         support_mode=support_mode,
         numerosity_reduction=numerosity_reduction,
+        tracer=job_tracer,
     )
     jobs = [
         ([row for row in X[y == label]], label, params_by_class[label], options)
         for label in np.unique(y)
     ]
-    if executor is None:
-        per_class = [_class_job(job) for job in jobs]
-    else:
-        per_class = executor.map(_class_job, jobs)
+    with tracer.span("mine") as span, tracer.adopt(span):
+        span.add("mine.classes", len(jobs))
+        if executor is None:
+            per_class = [_class_job(job) for job in jobs]
+        else:
+            per_class = executor.map(_class_job, jobs)
     return [candidate for group in per_class for candidate in group]

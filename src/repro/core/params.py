@@ -26,6 +26,8 @@ import numpy as np
 from ..ml.crossval import kfold_predictions, stratified_split
 from ..ml.metrics import precision_recall_f1
 from ..ml.svm import SVC
+from ..obs.metrics import registry
+from ..obs.tracer import NOOP
 from ..opt.direct import direct_minimize
 from ..opt.grid import PRUNED_VALUE, grid_search
 from ..runtime.cache import WindowStatsCache
@@ -97,6 +99,7 @@ class ParamSelector:
         classifier_factory=None,
         seed: int = 0,
         executor=None,
+        tracer=NOOP,
     ) -> None:
         self.X = np.asarray(X, dtype=float)
         self.y = np.asarray(y)
@@ -113,6 +116,7 @@ class ParamSelector:
         # Shared parallel runtime: per-class mining and validation
         # transforms inside each evaluation fan out over this executor.
         self.executor = executor
+        self.tracer = tracer
         self._stats_cache = WindowStatsCache()
         self.classes_ = np.unique(self.y)
         self._cache: dict[tuple[int, int, int], _Evaluation] = {}
@@ -140,6 +144,12 @@ class ParamSelector:
         return evaluation
 
     def _evaluate_uncached(self, params: SaxParams) -> _Evaluation:
+        # The R of §5.3: one increment per *unique* triple actually mined.
+        registry().inc("direct.evaluations")
+        with self.tracer.span("evaluate", params=params.as_tuple()):
+            return self._run_evaluation(params)
+
+    def _run_evaluation(self, params: SaxParams) -> _Evaluation:
         sums = {label: 0.0 for label in self.classes_}
         useful_splits = 0
         for train_idx, val_idx in self._splits:
@@ -157,6 +167,7 @@ class ParamSelector:
                     prototype=self.prototype,
                     support_mode=self.support_mode,
                     executor=self.executor,
+                    tracer=self.tracer,
                 )
             except ValueError:
                 continue
@@ -170,9 +181,14 @@ class ParamSelector:
                 tau_percentile=self.tau_percentile,
                 executor=self.executor,
                 cache=self._stats_cache,
+                tracer=self.tracer,
             )
             X_val_t = pattern_features(
-                X_val, selection.patterns, executor=self.executor, cache=self._stats_cache
+                X_val,
+                selection.patterns,
+                executor=self.executor,
+                cache=self._stats_cache,
+                tracer=self.tracer,
             )
 
             def fit_predict(Xa, ya, Xb):
@@ -215,23 +231,25 @@ class ParamSelector:
             (float(self.ranges.alphabet[0]), float(self.ranges.alphabet[1])),
         ]
         best: dict = {}
-        for label in self.classes_:
+        with self.tracer.span("direct") as span:
+            for label in self.classes_:
 
-            def objective(x: np.ndarray, _label=label) -> float:
-                w, p, a = (int(round(v)) for v in x)
-                evaluation = self.evaluate(w, p, a)
-                if evaluation.pruned:
-                    return PRUNED_VALUE
-                return 1.0 - evaluation.f1_by_class.get(_label, 0.0)
+                def objective(x: np.ndarray, _label=label) -> float:
+                    w, p, a = (int(round(v)) for v in x)
+                    evaluation = self.evaluate(w, p, a)
+                    if evaluation.pruned:
+                        return PRUNED_VALUE
+                    return 1.0 - evaluation.f1_by_class.get(_label, 0.0)
 
-            result = direct_minimize(
-                objective,
-                bounds,
-                max_evaluations=max_evaluations,
-                max_iterations=max_iterations,
-            )
-            key = self.ranges.clip(*(int(round(v)) for v in result.x))
-            best[label] = SaxParams(*self._best_key_for(label, fallback=key))
+                result = direct_minimize(
+                    objective,
+                    bounds,
+                    max_evaluations=max_evaluations,
+                    max_iterations=max_iterations,
+                )
+                key = self.ranges.clip(*(int(round(v)) for v in result.x))
+                best[label] = SaxParams(*self._best_key_for(label, fallback=key))
+            span.add("direct.evaluations", self.n_evaluations)
         return best
 
     def select_grid(self, axes: list[list[int]] | None = None) -> dict:
@@ -246,7 +264,9 @@ class ParamSelector:
             values = list(evaluation.f1_by_class.values())
             return 1.0 - float(np.mean(values))
 
-        grid_search(objective, axes)
+        with self.tracer.span("grid") as span:
+            grid_search(objective, axes)
+            span.add("direct.evaluations", self.n_evaluations)
         return {
             label: SaxParams(*self._best_key_for(label, fallback=None))
             for label in self.classes_

@@ -25,6 +25,8 @@ from typing import Callable
 import numpy as np
 
 from ..ml.svm import SVC
+from ..obs import resolve_tracer
+from ..obs.metrics import registry
 from ..runtime.cache import DEFAULT_CACHE_SIZE, WindowStatsCache
 from ..runtime.executor import BACKENDS, ParallelExecutor
 from ..sax.discretize import SaxParams
@@ -77,6 +79,14 @@ class RPMClassifier:
     cache_size:
         Entries in the sliding-window statistics LRU cache shared by
         this classifier's transforms (``0`` disables caching).
+    trace:
+        Observability knob: ``None``/``False`` (default) runs with the
+        zero-cost no-op tracer; ``True`` builds a fresh
+        :class:`~repro.obs.tracer.Tracer`; an existing tracer is used
+        as-is. The resolved tracer is available as ``self.tracer`` —
+        render it with :func:`repro.obs.format_tree` or dump it with
+        :func:`repro.obs.write_jsonl`. Tracing never changes results:
+        traced runs are bitwise identical to untraced ones.
     """
 
     def __init__(
@@ -100,6 +110,7 @@ class RPMClassifier:
         n_jobs: int = 1,
         parallel_backend: str = "thread",
         cache_size: int = DEFAULT_CACHE_SIZE,
+        trace=None,
     ) -> None:
         if param_search not in ("direct", "grid"):
             raise ValueError(f"param_search must be 'direct' or 'grid', got {param_search!r}")
@@ -125,6 +136,7 @@ class RPMClassifier:
         self.n_jobs = n_jobs
         self.parallel_backend = parallel_backend
         self.cache_size = cache_size
+        self.tracer = resolve_tracer(trace)
         self._stats_cache = WindowStatsCache(cache_size)
 
         self.patterns_: list[RepresentativePattern] = []
@@ -142,9 +154,11 @@ class RPMClassifier:
 
         Created per fit/transform call and closed afterwards so the
         classifier object itself never holds a pool (and stays
-        picklable/serializable).
+        picklable/serializable). With tracing on, per-chunk timings go
+        to the process-wide metrics registry.
         """
-        return ParallelExecutor(self.n_jobs, self.parallel_backend)
+        metrics = registry() if self.tracer.enabled else None
+        return ParallelExecutor(self.n_jobs, self.parallel_backend, metrics=metrics)
 
     # -- training ---------------------------------------------------------------
 
@@ -158,22 +172,28 @@ class RPMClassifier:
         if self.classes_.size < 2:
             raise ValueError("need at least two classes")
 
-        with self._make_executor() as executor:
-            self.params_by_class_ = self._resolve_params(X, y, executor)
-            candidates = self._mine_with_fallback(X, y, executor)
-            self.selection_ = find_distinct(
-                X,
-                y,
-                candidates,
-                tau_percentile=self.tau_percentile,
-                rotation_invariant=self.rotation_invariant,
-                executor=executor,
-                cache=self._stats_cache,
-            )
-        self.patterns_ = self.selection_.patterns
-        self._train_labels = y
-        self.classifier_ = self.classifier_factory()
-        self.classifier_.fit(self.selection_.train_features, y)
+        tracer = self.tracer
+        with tracer.span("fit") as fit_span, tracer.adopt(fit_span):
+            fit_span.add("fit.series", X.shape[0])
+            with self._make_executor() as executor:
+                with tracer.span("params"):
+                    self.params_by_class_ = self._resolve_params(X, y, executor)
+                candidates = self._mine_with_fallback(X, y, executor)
+                self.selection_ = find_distinct(
+                    X,
+                    y,
+                    candidates,
+                    tau_percentile=self.tau_percentile,
+                    rotation_invariant=self.rotation_invariant,
+                    executor=executor,
+                    cache=self._stats_cache,
+                    tracer=tracer,
+                )
+            self.patterns_ = self.selection_.patterns
+            self._train_labels = y
+            self.classifier_ = self.classifier_factory()
+            with tracer.span("classifier"):
+                self.classifier_.fit(self.selection_.train_features, y)
         return self
 
     def _resolve_params(
@@ -200,6 +220,7 @@ class RPMClassifier:
             classifier_factory=self.classifier_factory,
             seed=self.seed,
             executor=executor,
+            tracer=self.tracer,
         )
         if self.param_search == "direct":
             params = selector.select_direct(max_evaluations=self.direct_budget)
@@ -226,6 +247,7 @@ class RPMClassifier:
                 support_mode=self.support_mode,
                 numerosity_reduction=self.numerosity_reduction,
                 executor=executor,
+                tracer=self.tracer,
             )
             if candidates:
                 return candidates
@@ -261,6 +283,7 @@ class RPMClassifier:
                 rotation_invariant=self.rotation_invariant,
                 executor=executor,
                 cache=self._stats_cache,
+                tracer=self.tracer,
             )
 
     def predict(self, X: np.ndarray) -> np.ndarray:

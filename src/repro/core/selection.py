@@ -21,6 +21,8 @@ import numpy as np
 
 from ..distance.best_match import batch_best_distances, best_match
 from ..ml.cfs import cfs_select
+from ..obs.metrics import registry
+from ..obs.tracer import NOOP
 from .patterns import PatternCandidate, RepresentativePattern
 from .transform import pattern_features
 
@@ -131,6 +133,7 @@ def find_distinct(
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
     executor=None,
     cache=None,
+    tracer=NOOP,
 ) -> SelectionResult:
     """Algorithm 2 end to end.
 
@@ -140,20 +143,39 @@ def find_distinct(
 
     ``executor``/``cache`` are forwarded to the training-set feature
     transform (stage 3), the step that dominates Algorithm 2's cost.
+    ``tracer`` records a ``select`` span with ``tau`` / ``dedup`` /
+    ``transform`` / ``cfs`` children; de-duplication and CFS drop
+    counts go to the metrics registry (``candidates.dropped_dedup``,
+    ``patterns.selected``).
     """
     if not candidates:
         raise ValueError("no candidates to select from")
     X = np.asarray(X, dtype=float)
     y = np.asarray(y)
 
-    tau = compute_tau(candidates, tau_percentile)
-    capped = _cap_candidates(candidates, max_candidates)
-    deduped = remove_similar(capped, tau)
+    metrics = registry()
+    with tracer.span("select") as span, tracer.adopt(span):
+        with tracer.span("tau"):
+            tau = compute_tau(candidates, tau_percentile)
+        capped = _cap_candidates(candidates, max_candidates)
+        with tracer.span("dedup") as dedup_span:
+            deduped = remove_similar(capped, tau)
+            dedup_span.add("candidates.in", len(capped))
+            dedup_span.add("candidates.kept", len(deduped))
+        metrics.inc("candidates.dropped_dedup", len(capped) - len(deduped))
 
-    features = pattern_features(
-        X, deduped, rotation_invariant=rotation_invariant, executor=executor, cache=cache
-    )
-    result = cfs_select(features, y)
+        features = pattern_features(
+            X,
+            deduped,
+            rotation_invariant=rotation_invariant,
+            executor=executor,
+            cache=cache,
+            tracer=tracer,
+        )
+        with tracer.span("cfs") as cfs_span:
+            result = cfs_select(features, y)
+            cfs_span.add("patterns.selected", len(result.selected))
+        metrics.inc("patterns.selected", len(result.selected))
     patterns = [
         RepresentativePattern(
             values=deduped[idx].values,

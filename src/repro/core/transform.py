@@ -23,8 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..data.rotate import halfway_rotation
-from ..distance.best_match import best_match
+from ..obs.tracer import NOOP
 from ..runtime.cache import WindowStatsCache, default_cache
 from ..runtime.kernel import sliding_best_distances
 
@@ -42,18 +41,30 @@ def pattern_feature_row(
     patterns: Sequence,
     *,
     rotation_invariant: bool = False,
+    cache: WindowStatsCache | None = None,
 ) -> np.ndarray:
-    """Closest-match distances of one series to every pattern."""
+    """Closest-match distances of one series to every pattern.
+
+    Delegates to :func:`pattern_features` on the series viewed as a
+    one-row matrix, so the single-series path runs the exact same
+    sliding-window kernel as the batch transform — flat-window
+    handling, pattern-longer-than-series resampling and the rotation
+    copy are bitwise identical between the two (asserted by the parity
+    test suite). An earlier implementation recomputed the profile
+    through ``distance_profile`` per pattern, leaving the two code
+    paths free to drift.
+    """
     series = np.asarray(series, dtype=float)
-    rotated = halfway_rotation(series) if rotation_invariant else None
-    row = np.empty(len(patterns))
-    for k, pattern in enumerate(patterns):
-        values = _pattern_values(pattern)
-        dist = best_match(values, series).distance
-        if rotated is not None:
-            dist = min(dist, best_match(values, rotated).distance)
-        row[k] = dist
-    return row
+    if series.ndim != 1:
+        raise ValueError(f"pattern_feature_row expects a 1-D series, got shape {series.shape}")
+    if not len(patterns):
+        return np.empty(0)
+    return pattern_features(
+        series[np.newaxis, :],
+        patterns,
+        rotation_invariant=rotation_invariant,
+        cache=cache,
+    )[0]
 
 
 def _feature_block(args) -> np.ndarray:
@@ -85,6 +96,7 @@ def pattern_features(
     rotation_invariant: bool = False,
     executor=None,
     cache: WindowStatsCache | None = None,
+    tracer=NOOP,
 ) -> np.ndarray:
     """Transform ``(n, m)`` series into ``(n, K)`` pattern distances.
 
@@ -93,37 +105,41 @@ def pattern_features(
     transform) and classification. ``executor`` (a
     :class:`~repro.runtime.executor.ParallelExecutor`) fans the columns
     out across workers; ``cache`` overrides the process-wide default
-    statistics cache. Output is independent of both choices.
+    statistics cache. ``tracer`` records the whole call as one
+    ``transform`` span. Output is independent of all three choices.
     """
     X = np.asarray(X, dtype=float)
     if X.ndim != 2:
         raise ValueError(f"X must be 2-D, got shape {X.shape}")
     if not patterns:
         raise ValueError("patterns must be non-empty")
-    X_rot = None
-    if rotation_invariant:
-        X_rot = np.column_stack([X[:, X.shape[1] // 2 :], X[:, : X.shape[1] // 2]])
+    with tracer.span("transform") as span:
+        span.add("transform.series", X.shape[0])
+        span.add("transform.patterns", len(patterns))
+        X_rot = None
+        if rotation_invariant:
+            X_rot = np.column_stack([X[:, X.shape[1] // 2 :], X[:, : X.shape[1] // 2]])
 
-    values_list = [_pattern_values(p) for p in patterns]
-    serial = executor is None or executor.backend == "serial"
-    if serial or executor.backend == "thread":
-        shared_cache = cache if cache is not None else default_cache()
-        token = shared_cache.token(X)
-        token_rot = shared_cache.token(X_rot) if X_rot is not None else None
-    else:
-        # Process workers rebuild statistics locally; chunking by
-        # contiguous blocks keeps each (length, chunk) rebuilt once.
-        shared_cache = token = token_rot = None
+        values_list = [_pattern_values(p) for p in patterns]
+        serial = executor is None or executor.backend == "serial"
+        if serial or executor.backend == "thread":
+            shared_cache = cache if cache is not None else default_cache()
+            token = shared_cache.token(X)
+            token_rot = shared_cache.token(X_rot) if X_rot is not None else None
+        else:
+            # Process workers rebuild statistics locally; chunking by
+            # contiguous blocks keeps each (length, chunk) rebuilt once.
+            shared_cache = token = token_rot = None
 
-    if serial:
-        return _feature_block((values_list, X, X_rot, shared_cache, token, token_rot))
+        if serial:
+            return _feature_block((values_list, X, X_rot, shared_cache, token, token_rot))
 
-    n_chunks = min(len(values_list), executor.n_jobs * 4)
-    bounds = np.linspace(0, len(values_list), n_chunks + 1).astype(int)
-    jobs = [
-        (values_list[lo:hi], X, X_rot, shared_cache, token, token_rot)
-        for lo, hi in zip(bounds[:-1], bounds[1:])
-        if hi > lo
-    ]
-    blocks = executor.map(_feature_block, jobs)
-    return np.concatenate(blocks, axis=1)
+        n_chunks = min(len(values_list), executor.n_jobs * 4)
+        bounds = np.linspace(0, len(values_list), n_chunks + 1).astype(int)
+        jobs = [
+            (values_list[lo:hi], X, X_rot, shared_cache, token, token_rot)
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        blocks = executor.map(_feature_block, jobs)
+        return np.concatenate(blocks, axis=1)

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..runtime.kernel import SlidingWindowStats, resample_pattern
-from ..sax.znorm import NORM_THRESHOLD, znorm
+from ..sax.znorm import NORM_THRESHOLD, is_flat, znorm
 from .euclidean import euclidean_early_abandon
 
 __all__ = [
@@ -89,7 +89,7 @@ def distance_profile(pattern: np.ndarray, series: np.ndarray) -> np.ndarray:
     # cumulative-sum variance estimate carries cancellation noise
     # proportional to the series' squared magnitude.
     rms = float(np.sqrt(cumsum2[-1] / max(series.size, 1)))
-    flat = sd < max(NORM_THRESHOLD, 1e-7 * rms)
+    flat = is_flat(sd, max(NORM_THRESHOLD, 1e-7 * rms))
 
     # Cross-correlation ⟨w, q⟩ for every alignment.
     windows = np.lib.stride_tricks.sliding_window_view(series, n)

@@ -1,0 +1,59 @@
+"""repro.obs — pipeline observability: spans, metrics, emitters.
+
+Three small pieces, wired through every expensive stage of the RPM
+pipeline (see ``docs/observability.md`` for the span and metric
+catalogue):
+
+* :class:`Tracer` / :data:`NOOP` — nestable wall-time spans with a
+  zero-cost disabled default;
+* :class:`MetricsRegistry` / :func:`registry` — process-wide counters,
+  gauges and histograms (cache hits, dropped candidates, executor
+  chunk timings, …);
+* :func:`format_tree` / :func:`write_jsonl` — human tree and
+  JSON-lines emitters.
+
+Typical use::
+
+    from repro import RPMClassifier
+    from repro.obs import Tracer, format_tree, registry, write_jsonl
+
+    tracer = Tracer()
+    clf = RPMClassifier(seed=0, trace=tracer).fit(X, y)
+    print(format_tree(tracer))
+    write_jsonl("metrics.jsonl", tracer=tracer, metrics=registry())
+"""
+
+from .emitters import format_tree, span_records, write_jsonl
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, registry
+from .tracer import NOOP, NullTracer, Span, Tracer
+
+__all__ = [
+    "NOOP",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "format_tree",
+    "registry",
+    "resolve_tracer",
+    "span_records",
+    "write_jsonl",
+]
+
+
+def resolve_tracer(trace) -> "Tracer | NullTracer":
+    """Normalize the public ``trace=`` knob to a tracer instance.
+
+    ``None``/``False`` → the shared no-op, ``True`` → a fresh
+    :class:`Tracer`, an existing tracer → itself.
+    """
+    if trace is None or trace is False:
+        return NOOP
+    if trace is True:
+        return Tracer()
+    if isinstance(trace, (Tracer, NullTracer)):
+        return trace
+    raise TypeError(f"trace must be a bool, None or a Tracer, got {type(trace).__name__}")

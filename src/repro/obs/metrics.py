@@ -1,0 +1,182 @@
+"""Process-wide metrics: counters, gauges and compact histograms.
+
+The pipeline's hot loops (cache lookups, executor chunks, candidate
+filtering) publish into a :class:`MetricsRegistry` — a thread-safe bag
+of named instruments that costs a dict lookup plus an integer add per
+update, cheap enough to leave permanently on. One process-wide registry
+(:func:`registry`) is shared by the runtime cache, the executor and the
+pipeline stages; tests and embedded uses can pass their own instance.
+
+Metric names are dotted strings (``cache.hits``,
+``candidates.dropped_support``, ``executor.chunk_seconds``); the full
+catalogue lives in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "registry"]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def as_record(self) -> dict:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def as_record(self) -> dict:
+        return {"type": "gauge", "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of observed values: count/total/min/max.
+
+    Deliberately bucket-free — per-stage wall times only need the
+    count, sum and extrema to compute means and spot outliers, and a
+    four-field update keeps the observe path allocation-free.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_record(self) -> dict:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe collection of named counters, gauges and histograms.
+
+    All updates take the registry lock, so concurrent increments from
+    thread-backend workers are never lost (asserted by the thread-
+    safety test). Instruments are created on first use; reading with
+    :meth:`counter_value` / :meth:`snapshot` never creates anything.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- writers ---------------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero)."""
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name)
+            counter.value += amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge(name)
+            gauge.value = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(name)
+            hist.count += 1
+            hist.total += value
+            if value < hist.min:
+                hist.min = value
+            if value > hist.max:
+                hist.max = value
+
+    # -- readers ---------------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        with self._lock:
+            counter = self._counters.get(name)
+            return counter.value if counter else 0
+
+    def gauge_value(self, name: str) -> float:
+        with self._lock:
+            gauge = self._gauges.get(name)
+            return gauge.value if gauge else 0.0
+
+    def histogram(self, name: str) -> Histogram | None:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every instrument (JSON-serializable)."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in self._counters.items()},
+                "gauges": {n: g.value for n, g in self._gauges.items()},
+                "histograms": {
+                    n: h.as_record() for n, h in self._histograms.items()
+                },
+            }
+
+    def records(self) -> list[dict]:
+        """One flat record per instrument (the JSON-lines payload)."""
+        with self._lock:
+            instruments = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+        return [inst.as_record() for inst in instruments]
+
+    def reset(self) -> None:
+        """Drop every instrument (counters restart at zero)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_global_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide shared registry.
+
+    Process-backend workers each see their own copy (metrics published
+    in a worker process stay there); per-chunk executor timings survive
+    because the executor records them on the submitting side.
+    """
+    return _global_registry

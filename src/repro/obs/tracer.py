@@ -1,0 +1,243 @@
+"""Nestable wall-time spans over the RPM pipeline.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — one per
+pipeline stage (``fit`` → ``params`` / ``mine`` / ``select`` →
+``discretize`` / ``grammar`` / ``refine`` / ``transform`` …). Spans
+carry the stage name, wall time, free-form metadata and a small counter
+dict, and nest through two mechanisms:
+
+* a per-thread stack — the common case: a span opened while another is
+  active on the same thread becomes its child;
+* an *ambient parent* (:meth:`Tracer.adopt`) — spans opened on worker
+  threads, whose stacks are empty, attach under the span the
+  orchestrator adopted before fanning out.
+
+The default tracer everywhere is :data:`NOOP`, a stateless singleton
+whose ``span()`` returns one shared no-op context manager — the
+disabled path is two attribute lookups and no allocation, so tracing
+costs nothing unless a real ``Tracer`` is passed in. Tracing never
+touches the numeric pipeline: spans wrap computations, they do not
+reorder or alter them, so traced runs stay bitwise identical to
+untraced ones.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["NOOP", "NullTracer", "Span", "Tracer"]
+
+
+class Span:
+    """One timed stage: name, wall time, counters and children."""
+
+    __slots__ = ("name", "meta", "start", "duration", "parent", "children", "counters")
+
+    def __init__(self, name: str, meta: dict | None = None, parent: "Span | None" = None):
+        self.name = name
+        self.meta = meta or {}
+        self.start = 0.0
+        self.duration = 0.0
+        self.parent = parent
+        self.children: list[Span] = []
+        self.counters: dict[str, float] = {}
+
+    def add(self, counter: str, amount: float = 1) -> None:
+        """Bump a span-local counter (shown next to the span's time)."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def annotate(self, **meta) -> None:
+        """Attach free-form metadata to the span."""
+        self.meta.update(meta)
+
+    def walk(self, depth: int = 0):
+        """Yield ``(span, depth)`` over the subtree, pre-order."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration:.3f}s, {len(self.children)} children)"
+
+
+class _SpanHandle:
+    """Context manager tying one span's lifetime to a ``with`` block."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._open(self._span)
+        self._span.start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.duration = time.perf_counter() - self._span.start
+        if exc_type is not None:
+            self._span.meta.setdefault("error", exc_type.__name__)
+        self._tracer._close(self._span)
+        return False
+
+
+class _AmbientHandle:
+    """Restores the tracer's previous ambient parent on exit."""
+
+    __slots__ = ("_tracer", "_span", "_previous")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._previous = None
+
+    def __enter__(self) -> Span:
+        self._previous = self._tracer._ambient
+        self._tracer._ambient = self._span
+        return self._span
+
+    def __exit__(self, *exc_info) -> bool:
+        self._tracer._ambient = self._previous
+        return False
+
+
+class Tracer:
+    """Collects a forest of spans; safe to use from multiple threads.
+
+    Structure mutations (attaching a span to its parent or to the root
+    list) take a lock so thread-backend workers can attach children to
+    the adopted ambient span concurrently. The per-thread open-span
+    stack itself is ``threading.local`` and needs no locking.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ambient: Span | None = None
+
+    # -- structure ------------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _open(self, span: Span) -> None:
+        stack = self._stack()
+        parent = stack[-1] if stack else self._ambient
+        span.parent = parent
+        with self._lock:
+            if parent is None:
+                self.roots.append(span)
+            else:
+                parent.children.append(span)
+        stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    # -- public API -----------------------------------------------------------
+
+    def span(self, name: str, **meta) -> _SpanHandle:
+        """Open a named child span for the duration of a ``with`` block."""
+        return _SpanHandle(self, Span(name, meta or None))
+
+    def adopt(self, span: Span) -> _AmbientHandle:
+        """Make ``span`` the parent of spans opened on *other* threads.
+
+        Use around an executor fan-out so worker-thread spans nest
+        under the orchestrating stage instead of becoming roots.
+        """
+        return _AmbientHandle(self, span)
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread (or the ambient one)."""
+        stack = self._stack()
+        return stack[-1] if stack else self._ambient
+
+    def count(self, counter: str, amount: float = 1) -> None:
+        """Bump a counter on the current span (no-op without one)."""
+        span = self.current()
+        if span is not None:
+            span.add(counter, amount)
+
+    def total_duration(self) -> float:
+        """Wall time summed over root spans."""
+        return sum(span.duration for span in self.roots)
+
+
+class _NullSpan:
+    """Inert span returned by the disabled tracer."""
+
+    __slots__ = ()
+    name = "<null>"
+    meta: dict = {}
+    start = 0.0
+    duration = 0.0
+    parent = None
+    children: tuple = ()
+    counters: dict = {}
+
+    def add(self, counter: str, amount: float = 1) -> None:
+        pass
+
+    def annotate(self, **meta) -> None:
+        pass
+
+    def walk(self, depth: int = 0):
+        return iter(())
+
+
+class _NullHandle:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_HANDLE = _NullHandle()
+
+
+class NullTracer:
+    """Disabled tracer: every operation returns a shared no-op object.
+
+    Stateless, picklable (process-backend jobs carry it by value), and
+    allocation-free on the ``span()`` path — the zero-cost default.
+    """
+
+    enabled = False
+    roots: tuple = ()
+
+    def span(self, name: str, **meta) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def adopt(self, span) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def current(self) -> None:
+        return None
+
+    def count(self, counter: str, amount: float = 1) -> None:
+        pass
+
+    def total_duration(self) -> float:
+        return 0.0
+
+    def __reduce__(self):
+        return (NullTracer, ())
+
+
+#: The shared disabled tracer — the default for every ``tracer=`` knob.
+NOOP = NullTracer()

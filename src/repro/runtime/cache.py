@@ -21,6 +21,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry, registry
 from .kernel import SlidingWindowStats
 
 __all__ = ["DEFAULT_CACHE_SIZE", "WindowStatsCache", "default_cache"]
@@ -41,17 +42,27 @@ class WindowStatsCache:
         evicted past it. ``0`` disables caching (every call computes
         fresh statistics) while keeping the interface.
 
-    Counters ``hits`` / ``misses`` / ``evictions`` are exposed for
-    tests and diagnostics.
+    Counters ``hits`` / ``misses`` / ``evictions`` are kept as instance
+    attributes for tests and additionally published to a
+    :class:`~repro.obs.metrics.MetricsRegistry` (``cache.hits`` /
+    ``cache.misses`` / ``cache.evictions``) — the process-wide registry
+    by default — so cache behavior shows up in ``--metrics-out`` dumps
+    alongside the rest of the pipeline.
     """
 
-    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_CACHE_SIZE,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         if max_entries < 0:
             raise ValueError(f"max_entries must be >= 0, got {max_entries}")
         self.max_entries = int(max_entries)
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._metrics = metrics if metrics is not None else registry()
         self._entries: OrderedDict[tuple, SlidingWindowStats] = OrderedDict()
         self._lock = threading.Lock()
 
@@ -77,6 +88,7 @@ class WindowStatsCache:
         """Fetch (or build and insert) the statistics for ``(X, length)``."""
         if self.max_entries == 0:
             self.misses += 1
+            self._metrics.inc("cache.misses")
             return SlidingWindowStats(X, length)
         if token is None:
             token = self.token(X)
@@ -86,17 +98,25 @@ class WindowStatsCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return entry
-            self.misses += 1
+            else:
+                self.misses += 1
+        if entry is not None:
+            self._metrics.inc("cache.hits")
+            return entry
+        self._metrics.inc("cache.misses")
         # Build outside the lock: concurrent misses on the same key may
         # duplicate work but never corrupt state (last writer wins).
         entry = SlidingWindowStats(X, length)
+        evicted = 0
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                evicted += 1
+        if evicted:
+            self._metrics.inc("cache.evictions", evicted)
         return entry
 
     def clear(self) -> None:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..sax.znorm import NORM_THRESHOLD, znorm
+from ..sax.znorm import NORM_THRESHOLD, is_flat, znorm
 
 __all__ = ["SlidingWindowStats", "resample_pattern", "sliding_best_distances"]
 
@@ -87,7 +87,7 @@ class SlidingWindowStats:
         # cumulative-sum variance estimate carries cancellation noise
         # proportional to the series' squared magnitude.
         rms = np.sqrt(cumsum2[:, -1:] / max(m, 1))
-        self._flat = sd < np.maximum(NORM_THRESHOLD, 1e-7 * rms)
+        self._flat = is_flat(sd, np.maximum(NORM_THRESHOLD, 1e-7 * rms))
         self._sd = sd
         self._safe_sd = np.where(self._flat, 1.0, sd)
         # Strided view into the centered copy (kept alive by the view).

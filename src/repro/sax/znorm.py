@@ -12,11 +12,23 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["znorm", "znorm_rows", "NORM_THRESHOLD"]
+__all__ = ["is_flat", "znorm", "znorm_rows", "NORM_THRESHOLD"]
 
 #: Standard deviation below which a sequence is considered constant.
 #: The value matches the default used by GrammarViz / SAX-VSM (0.01).
 NORM_THRESHOLD = 1e-2
+
+
+def is_flat(sd, threshold: float = NORM_THRESHOLD):
+    """The flatness predicate: strict ``sd < threshold``.
+
+    One definition shared by :func:`znorm`, :func:`znorm_rows` and the
+    sliding-window kernel so the scalar and vectorized paths can never
+    disagree on whether a borderline window is flat. A standard
+    deviation exactly equal to the threshold is *not* flat. Works
+    element-wise on arrays.
+    """
+    return sd < threshold
 
 
 def znorm(series: np.ndarray, threshold: float = NORM_THRESHOLD) -> np.ndarray:
@@ -27,16 +39,17 @@ def znorm(series: np.ndarray, threshold: float = NORM_THRESHOLD) -> np.ndarray:
     series:
         One-dimensional array of observations.
     threshold:
-        If the standard deviation of *series* is below this value the
-        series is considered flat and a zero vector of the same length
-        is returned (mean is still subtracted, which yields zeros up to
-        numerical noise that we clamp explicitly).
+        If the standard deviation of *series* is strictly below this
+        value (see :func:`is_flat`) the series is considered flat and
+        an exact zero vector of the same length is returned — the mean
+        is *not* subtracted first; the output is ``np.zeros_like``, by
+        construction free of numerical noise.
 
     Returns
     -------
     numpy.ndarray
-        A new float array with mean 0 and standard deviation 1 (or all
-        zeros for flat input).
+        A new float array with mean 0 and standard deviation 1 (or
+        exact zeros for flat input).
     """
     values = np.asarray(series, dtype=float)
     if values.ndim != 1:
@@ -44,7 +57,7 @@ def znorm(series: np.ndarray, threshold: float = NORM_THRESHOLD) -> np.ndarray:
     if values.size == 0:
         return values.copy()
     sd = values.std()
-    if sd < threshold:
+    if is_flat(sd, threshold):
         return np.zeros_like(values)
     return (values - values.mean()) / sd
 
@@ -53,8 +66,8 @@ def znorm_rows(matrix: np.ndarray, threshold: float = NORM_THRESHOLD) -> np.ndar
     """Z-normalize every row of a 2-D array independently.
 
     Vectorized companion of :func:`znorm` used on batches of sliding
-    windows. Rows with standard deviation below *threshold* become zero
-    rows.
+    windows. Rows flagged by :func:`is_flat` (the same strict-``<``
+    predicate :func:`znorm` uses) become exact zero rows.
     """
     values = np.asarray(matrix, dtype=float)
     if values.ndim != 2:
@@ -63,7 +76,7 @@ def znorm_rows(matrix: np.ndarray, threshold: float = NORM_THRESHOLD) -> np.ndar
         return values.copy()
     means = values.mean(axis=1, keepdims=True)
     sds = values.std(axis=1, keepdims=True)
-    flat = (sds < threshold).ravel()
+    flat = is_flat(sds, threshold).ravel()
     # Avoid division warnings for flat rows; they are overwritten below.
     sds[flat] = 1.0
     out = (values - means) / sds

@@ -19,6 +19,38 @@ class TestParser:
             build_parser().parse_args(["evaluate", "CBF", "--method", "nope"])
 
 
+class TestFlagValidation:
+    """Numeric flags fail at the parser, not deep inside the pipeline."""
+
+    @pytest.mark.parametrize("value", ["0", "-5"])
+    def test_cache_size_rejects_non_positive(self, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["train", "CBF", "--cache-size", value])
+        assert exc.value.code == 2
+        assert "must be a positive integer" in capsys.readouterr().err
+
+    def test_cache_size_rejects_garbage(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "CBF", "--cache-size", "many"])
+        assert "expected an integer" in capsys.readouterr().err
+
+    def test_cache_size_accepts_positive(self):
+        args = build_parser().parse_args(["train", "CBF", "--cache-size", "7"])
+        assert args.cache_size == 7
+
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_jobs_rejects_zero_and_below_minus_one(self, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["train", "CBF", "--jobs", value])
+        assert exc.value.code == 2
+        assert "positive worker count or -1" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value,expected", [("3", 3), ("-1", -1)])
+    def test_jobs_accepts_valid(self, value, expected):
+        args = build_parser().parse_args(["train", "CBF", "--jobs", value])
+        assert args.jobs == expected
+
+
 class TestCommands:
     def test_datasets_lists_registry(self, capsys):
         assert main(["datasets"]) == 0
@@ -82,6 +114,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "freq=" in out
         assert "discord [" in out
+
+    def test_train_trace_and_metrics_out(self, tmp_path, capsys):
+        import json
+
+        metrics_path = tmp_path / "metrics.jsonl"
+        rc = main(
+            ["train", "ItalyPowerSim", "--window", "12", "--paa", "4",
+             "--alphabet", "4", "--trace", "--metrics-out", str(metrics_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        # The span tree covers the pipeline stages with wall times.
+        assert "-- trace --" in out
+        for stage in ("fit", "mine", "discretize", "grammar", "refine",
+                      "select", "transform"):
+            assert stage in out, f"span tree missing stage {stage!r}"
+        assert "s" in out  # wall-time column
+
+        # The JSON-lines dump is valid line-by-line and carries the
+        # cache counters.
+        assert metrics_path.exists()
+        records = [json.loads(line) for line in metrics_path.read_text().splitlines()]
+        assert records, "metrics file is empty"
+        kinds = {record["type"] for record in records}
+        assert {"meta", "span", "counter"} <= kinds
+        counters = {r["name"] for r in records if r["type"] == "counter"}
+        assert "cache.hits" in counters and "cache.misses" in counters
+
+    def test_trace_off_by_default(self, capsys):
+        rc = main(["evaluate", "ItalyPowerSim", "--window", "12", "--paa", "4",
+                   "--alphabet", "4"])
+        assert rc == 0
+        assert "-- trace --" not in capsys.readouterr().out
 
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as exc:

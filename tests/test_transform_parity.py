@@ -1,0 +1,96 @@
+"""Row/batch transform parity.
+
+``pattern_feature_row`` must produce exactly the row the batch
+``pattern_features`` transform would — it now delegates structurally,
+but these tests pin the contract (an earlier implementation recomputed
+the profile through a separate code path, which could drift on flat
+windows and resampled patterns).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.transform import pattern_feature_row, pattern_features
+from repro.runtime.cache import WindowStatsCache
+from repro.sax.znorm import znorm
+
+
+@pytest.fixture(scope="module")
+def series_matrix(rng):
+    return rng.normal(size=(12, 80))
+
+
+@pytest.fixture(scope="module")
+def patterns(rng):
+    return [znorm(rng.normal(size=n)) for n in (8, 16, 25, 80)]
+
+
+def _assert_row_parity(X, patterns, **kwargs):
+    batch = pattern_features(X, patterns, **kwargs)
+    for i, row in enumerate(X):
+        single = pattern_feature_row(row, patterns, **kwargs)
+        np.testing.assert_array_equal(single, batch[i], strict=True)
+
+
+class TestRowBatchParity:
+    def test_plain(self, series_matrix, patterns):
+        _assert_row_parity(series_matrix, patterns)
+
+    def test_rotation_invariant(self, series_matrix, patterns):
+        _assert_row_parity(series_matrix, patterns, rotation_invariant=True)
+
+    def test_shared_cache(self, series_matrix, patterns):
+        cache = WindowStatsCache(8)
+        _assert_row_parity(series_matrix, patterns, cache=cache)
+
+    def test_flat_pattern(self, series_matrix):
+        flat = [np.zeros(10), np.full(10, 3.0)]
+        _assert_row_parity(series_matrix, flat)
+
+    def test_flat_series(self, patterns, rng):
+        X = np.vstack(
+            [
+                np.zeros(80),
+                np.full(80, -2.5),
+                rng.normal(size=80),
+            ]
+        )
+        _assert_row_parity(X, patterns)
+
+    def test_flat_windows_inside_series(self, patterns, rng):
+        # A series with long constant stretches exercises the kernel's
+        # flat-window mask on some windows but not others.
+        row = rng.normal(size=80)
+        row[10:40] = 1.0
+        X = np.vstack([row, rng.normal(size=80)])
+        _assert_row_parity(X, patterns)
+
+    def test_pattern_longer_than_series(self, rng):
+        X = rng.normal(size=(5, 30))
+        long_patterns = [znorm(rng.normal(size=45)), znorm(rng.normal(size=30))]
+        _assert_row_parity(X, long_patterns)
+        _assert_row_parity(X, long_patterns, rotation_invariant=True)
+
+    def test_short_series(self, rng):
+        X = rng.normal(size=(4, 6))
+        short_patterns = [znorm(rng.normal(size=3)), znorm(rng.normal(size=6))]
+        _assert_row_parity(X, short_patterns)
+
+    def test_pattern_objects(self, series_matrix, patterns):
+        class Holder:
+            def __init__(self, values):
+                self.values = values
+
+        _assert_row_parity(series_matrix, [Holder(p) for p in patterns])
+
+
+class TestRowValidation:
+    def test_rejects_matrix_input(self, series_matrix, patterns):
+        with pytest.raises(ValueError, match="1-D"):
+            pattern_feature_row(series_matrix, patterns)
+
+    def test_empty_patterns_returns_empty(self, series_matrix):
+        out = pattern_feature_row(series_matrix[0], [])
+        assert out.shape == (0,)
