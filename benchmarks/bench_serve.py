@@ -1,0 +1,117 @@
+"""Serving-path benchmark: single-request vs micro-batched throughput.
+
+The serving claim is that micro-batching amortizes per-request costs —
+sliding-window statistics per length bucket, one mat-vec per pattern,
+one SVM call — across every request in the batch. This bench measures
+that directly on a small trained model:
+
+* **single** — ``max_batch=1`` / no coalescing window: every request is
+  its own model call (the lower bound batching must beat);
+* **batched** — requests submitted together and coalesced up to
+  ``max_batch``;
+* compiled transform, serial executor vs thread fan-out.
+
+The bitwise-equivalence assertion (batched labels == the in-process
+``RPMClassifier.predict``) is always on. The ≥2× throughput gate only
+arms on hosts with at least 4 CPUs — tiny shared runners make wall-
+clock ratios meaningless.
+
+Run stand-alone (CI fast lane) with ``python benchmarks/bench_serve.py``
+or through pytest-benchmark alongside the other benches.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import harness  # noqa: E402
+from repro import RPMClassifier, SaxParams  # noqa: E402
+from repro.data import load  # noqa: E402
+from repro.serve import CompiledModel, PredictionService  # noqa: E402
+
+THROUGHPUT_GATE_MIN_CPUS = 4
+GATE_FACTOR = 2.0
+
+
+def _requests(dataset, n: int = 96) -> np.ndarray:
+    reps = int(np.ceil(n / dataset.X_test.shape[0]))
+    return np.tile(dataset.X_test, (reps, 1))[:n]
+
+
+def _throughput(service: PredictionService, X: np.ndarray, *, coalesce: bool) -> tuple[float, np.ndarray]:
+    """Requests/second plus the labels (for the equivalence assert)."""
+    start = time.perf_counter()
+    if coalesce:
+        futures = [service.submit(row) for row in X]
+        results = [f.result() for f in futures]
+    else:
+        results = [service.predict_one(row) for row in X]
+    elapsed = time.perf_counter() - start
+    assert all(r.ok for r in results)
+    return X.shape[0] / elapsed, np.array([r.label for r in results])
+
+
+def run_bench() -> str:
+    dataset = load("ItalyPowerSim")
+    clf = RPMClassifier(sax_params=SaxParams(12, 4, 4), seed=0)
+    clf.fit(dataset.X_train, dataset.y_train)
+    X = _requests(dataset)
+    expected = clf.predict(X)
+
+    rows = []
+    throughputs = {}
+    configs = [
+        ("single", dict(max_batch=1, max_delay_ms=0.0), "serial", 1, False),
+        ("batched-serial", dict(max_batch=64, max_delay_ms=2.0), "serial", 1, True),
+        ("batched-threads", dict(max_batch=64, max_delay_ms=2.0), "thread", 2, True),
+    ]
+    for name, knobs, backend, jobs, coalesce in configs:
+        with CompiledModel.from_classifier(
+            clf, n_jobs=jobs, parallel_backend=backend
+        ) as model:
+            with PredictionService(model, **knobs) as service:
+                rate, labels = _throughput(service, X, coalesce=coalesce)
+        # The acceptance criterion: batching/parallelism never changes a bit.
+        np.testing.assert_array_equal(labels, expected)
+        throughputs[name] = rate
+        rows.append([name, f"{rate:.0f}", f"{1000.0 / rate:.2f}"])
+
+    speedup = throughputs["batched-serial"] / throughputs["single"]
+    gated = (os.cpu_count() or 1) >= THROUGHPUT_GATE_MIN_CPUS
+    report = "\n".join(
+        [
+            f"Serving throughput — {len(X)} requests, "
+            f"{len(clf.patterns_)} patterns ({os.cpu_count()} CPUs)",
+            harness.format_table(["mode", "req/s", "ms/req"], rows),
+            f"\nbatched/single speedup: {speedup:.2f}x "
+            f"(gate {'armed' if gated else 'off — <4 CPUs'})",
+            "equivalence: batched labels bitwise-identical to RPMClassifier.predict",
+        ]
+    )
+    if gated:
+        assert speedup >= GATE_FACTOR, (
+            f"batched throughput only {speedup:.2f}x single-request "
+            f"(gate requires >= {GATE_FACTOR}x)"
+        )
+    return report
+
+
+def test_serve_throughput(benchmark):
+    report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    harness.write_report("serve", report)
+
+
+def main() -> int:
+    harness.write_report("serve", run_bench())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,11 @@ Quick start::
     predictions = clf.predict(dataset.X_test)
     print(clf.describe_patterns())
 
+Every estimator — RPM and all baselines — follows the unified
+:class:`~repro.base.Estimator` protocol (``fit`` / ``predict`` /
+``get_params`` / ``set_params`` / ``clone``), so evaluation and
+cross-validation can re-instantiate any of them generically.
+
 Subpackages
 -----------
 ``repro.core``
@@ -24,11 +29,22 @@ Subpackages
     Fast Shapelets, Learning Shapelets.
 ``repro.data``
     UCR loader, synthetic UCR-like generators, rotation tools.
+``repro.serve``
+    Batched inference over saved models: ``CompiledModel`` +
+    micro-batching ``PredictionService``.
 """
 
+from .base import BaseEstimator, Estimator, clone
 from .core.rpm import RPMClassifier
 from .sax.discretize import SaxParams
 
 __version__ = "1.0.0"
 
-__all__ = ["RPMClassifier", "SaxParams", "__version__"]
+__all__ = [
+    "RPMClassifier",
+    "SaxParams",
+    "Estimator",
+    "BaseEstimator",
+    "clone",
+    "__version__",
+]

@@ -12,23 +12,26 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..base import BaseEstimator, keyword_only
 from ..sax.discretize import SaxParams, discretize
 
 __all__ = ["BagOfPatternsClassifier"]
 
 
-class BagOfPatternsClassifier:
+class BagOfPatternsClassifier(BaseEstimator):
     """1-NN over SAX-word histograms.
 
     Parameters
     ----------
     params:
-        SAX parameters for the word extraction.
+        SAX parameters for the word extraction (required,
+        keyword-only).
     metric:
         ``'euclidean'`` on raw counts or ``'cosine'`` similarity.
     """
 
-    def __init__(self, params: SaxParams, metric: str = "euclidean") -> None:
+    @keyword_only("params", "metric")
+    def __init__(self, *, params: SaxParams, metric: str = "euclidean") -> None:
         if metric not in ("euclidean", "cosine"):
             raise ValueError(f"metric must be euclidean or cosine, got {metric!r}")
         self.params = params

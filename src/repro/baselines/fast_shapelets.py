@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..base import BaseEstimator, keyword_only
 from ..distance.best_match import best_match
 from ..sax.sax import sax_word
 from ..sax.znorm import znorm_rows
@@ -78,7 +79,7 @@ class _Node:
         return self.shapelet is None
 
 
-class FastShapeletsClassifier:
+class FastShapeletsClassifier(BaseEstimator):
     """Shapelet decision tree with SAX random-projection candidate search.
 
     Parameters
@@ -95,8 +96,19 @@ class FastShapeletsClassifier:
         Tree growth limits.
     """
 
+    @keyword_only(
+        "length_fractions",
+        "n_projections",
+        "mask_size",
+        "top_k",
+        "max_depth",
+        "min_leaf",
+        "stride_fraction",
+        "seed",
+    )
     def __init__(
         self,
+        *,
         length_fractions: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4),
         n_projections: int = 10,
         mask_size: int = 3,

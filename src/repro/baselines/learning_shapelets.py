@@ -21,6 +21,7 @@ import itertools
 
 import numpy as np
 
+from ..base import BaseEstimator, keyword_only
 from ..ml.crossval import stratified_kfold
 from ..sax.znorm import znorm_rows
 
@@ -53,7 +54,7 @@ def _kmeans_segments(
     return centers
 
 
-class LearningShapeletsClassifier:
+class LearningShapeletsClassifier(BaseEstimator):
     """Jointly learned shapelets + linear classifier.
 
     Parameters
@@ -73,8 +74,19 @@ class LearningShapeletsClassifier:
         Full-batch Adagrad schedule.
     """
 
+    @keyword_only(
+        "n_shapelets",
+        "length_fraction",
+        "n_scales",
+        "alpha",
+        "l2",
+        "epochs",
+        "learning_rate",
+        "seed",
+    )
     def __init__(
         self,
+        *,
         n_shapelets: int = 8,
         length_fraction: float = 0.15,
         n_scales: int = 2,
@@ -252,7 +264,7 @@ DEFAULT_LS_GRID = {
 }
 
 
-class TunedLearningShapelets:
+class TunedLearningShapelets(BaseEstimator):
     """Learning Shapelets with the published cross-validated grid search.
 
     Every grid point trains a full model per CV fold, so the cost is
@@ -260,10 +272,11 @@ class TunedLearningShapelets:
     slowest entry of the paper's Table 2 by orders of magnitude.
     """
 
+    @keyword_only("grid")
     def __init__(
         self,
-        grid: dict | None = None,
         *,
+        grid: dict | None = None,
         cv_folds: int = 3,
         epochs: int = 600,
         seed: int = 0,

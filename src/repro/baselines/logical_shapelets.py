@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..base import BaseEstimator, keyword_only
 from ..distance.best_match import batch_best_distances
 from ..sax.znorm import znorm, znorm_rows
 from .fast_shapelets import _best_split, information_gain
@@ -59,7 +60,7 @@ class LogicalNode:
         return bool(a and b) if self.op == "and" else bool(a or b)
 
 
-class LogicalShapeletsClassifier:
+class LogicalShapeletsClassifier(BaseEstimator):
     """Decision tree over logical combinations of shapelets.
 
     Parameters mirror :class:`ShapeletTransformClassifier`; ``top_k``
@@ -67,8 +68,12 @@ class LogicalShapeletsClassifier:
     each node (combination search is quadratic in it).
     """
 
+    @keyword_only(
+        "length_fractions", "stride_fraction", "top_k", "max_depth", "min_leaf", "seed"
+    )
     def __init__(
         self,
+        *,
         length_fractions: tuple[float, ...] = (0.15, 0.3),
         stride_fraction: float = 0.15,
         top_k: int = 5,

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..base import BaseEstimator, keyword_only
 from ..distance.dtw import dtw_distance, envelope, lb_keogh
 from ..sax.znorm import znorm_rows
 
@@ -37,7 +38,7 @@ DEFAULT_WINDOW_FRACTIONS: tuple[float, ...] = (
 )
 
 
-class NearestNeighborED:
+class NearestNeighborED(BaseEstimator):
     """1-NN with Euclidean distance on z-normalized series."""
 
     def __init__(self) -> None:
@@ -71,7 +72,7 @@ def _squared_cross_distances(A: np.ndarray, B: np.ndarray) -> np.ndarray:
     return d2
 
 
-class NearestNeighborDTW:
+class NearestNeighborDTW(BaseEstimator):
     """1-NN DTW with the warping window learned on the training set.
 
     Parameters
@@ -83,8 +84,10 @@ class NearestNeighborDTW:
         Window (in samples) to use without selection.
     """
 
+    @keyword_only("window_fractions", "fixed_window")
     def __init__(
         self,
+        *,
         window_fractions: tuple[float, ...] | None = DEFAULT_WINDOW_FRACTIONS,
         fixed_window: int | None = None,
     ) -> None:

@@ -17,6 +17,7 @@ from collections import Counter
 
 import numpy as np
 
+from ..base import BaseEstimator, keyword_only
 from ..opt.direct import direct_minimize
 from ..opt.grid import CachedIntegerObjective
 from ..sax.discretize import SaxParams, discretize
@@ -31,7 +32,7 @@ def _series_bag(series: np.ndarray, params: SaxParams) -> Counter:
     return Counter(record.words)
 
 
-class SaxVsmClassifier:
+class SaxVsmClassifier(BaseEstimator):
     """tf·idf bag-of-SAX-words classifier.
 
     Parameters
@@ -44,10 +45,11 @@ class SaxVsmClassifier:
         Maximum objective evaluations for the parameter search.
     """
 
+    @keyword_only("params")
     def __init__(
         self,
-        params: SaxParams | None = None,
         *,
+        params: SaxParams | None = None,
         direct_budget: int = 40,
         cv_folds: int = 3,
         seed: int = 0,

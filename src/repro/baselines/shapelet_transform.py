@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..base import BaseEstimator, keyword_only
 from ..distance.best_match import batch_best_distances
 from ..ml.svm import SVC
 from ..sax.znorm import znorm, znorm_rows
@@ -48,7 +49,7 @@ class Shapelet:
         return int(self.values.size)
 
 
-class ShapeletTransformClassifier:
+class ShapeletTransformClassifier(BaseEstimator):
     """K-shapelet transform + classifier.
 
     Parameters
@@ -63,8 +64,12 @@ class ShapeletTransformClassifier:
         Downstream classifier (default RBF SVM).
     """
 
+    @keyword_only(
+        "n_shapelets", "length_fractions", "stride_fraction", "classifier_factory", "seed"
+    )
     def __init__(
         self,
+        *,
         n_shapelets: int = 10,
         length_fractions: tuple[float, ...] = (0.1, 0.2, 0.3),
         stride_fraction: float = 0.1,

@@ -1,21 +1,28 @@
 """Command-line interface.
 
-Usage (after ``pip install -e .``)::
+Usage (after ``pip install -e .``; installed as both ``rpm`` and
+``repro``)::
 
-    python -m repro datasets                     # list available datasets
-    python -m repro train CBF -o model.npz       # mine patterns + save model
-    python -m repro evaluate CBF                 # train/test error on a dataset
-    python -m repro evaluate CBF --method NN-ED  # a baseline instead of RPM
-    python -m repro patterns model.npz           # inspect a saved model
-    python -m repro classify model.npz data.txt  # label UCR-format series
+    rpm datasets                     # list available datasets
+    rpm train CBF -o model.npz       # mine patterns + save model
+    rpm evaluate CBF                 # train/test error on a dataset
+    rpm evaluate CBF --method NN-ED  # a baseline instead of RPM
+    rpm patterns model.npz           # inspect a saved model
+    rpm classify model.npz data.txt  # label series via the in-process model
+    rpm predict --model model.npz data.txt   # label series via repro.serve
+    rpm serve --model model.npz      # micro-batched serving loop on stdin
 
 ``train``/``evaluate`` accept either a registry dataset name or (when
-``RPM_UCR_ROOT`` is set) a real UCR archive dataset.
+``RPM_UCR_ROOT`` is set) a real UCR archive dataset. ``predict`` and
+``serve`` run the compiled inference engine (``repro.serve``) — the
+production path for persisted artifacts; ``classify`` keeps the simple
+in-process path for comparison.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -37,6 +44,7 @@ from .ml.metrics import error_rate
 from .obs import Tracer, format_tree, registry, write_jsonl
 from .runtime.cache import DEFAULT_CACHE_SIZE
 from .sax.discretize import SaxParams
+from .serve import CompiledModel, PredictionService
 
 BASELINES = {
     "NN-ED": NearestNeighborED,
@@ -189,6 +197,99 @@ def cmd_classify(args) -> int:
     return 0
 
 
+def _build_service(args, tracer: Tracer | None = None) -> PredictionService:
+    """Compiled model + micro-batching service from the serve flags."""
+    model = CompiledModel.load(
+        args.model,
+        n_jobs=args.jobs,
+        parallel_backend=args.parallel_backend,
+        trace=tracer,
+    )
+    return PredictionService(
+        model,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        default_deadline_ms=args.deadline_ms,
+        warmup=not args.no_warmup,
+        trace=tracer,
+    )
+
+
+def _result_record(index, result) -> dict:
+    """JSON-safe view of one PredictionResult."""
+    record = {
+        "index": index,
+        "status": result.status.value,
+        "label": None if result.label is None else np.asarray(result.label).item(),
+        "latency_ms": round(result.latency_ms, 3),
+    }
+    if result.error_code:
+        record["error_code"] = result.error_code
+        record["error"] = result.error_message
+    if result.deadline_missed:
+        record["deadline_missed"] = True
+    return record
+
+
+def cmd_predict(args) -> int:
+    """``rpm predict``: label UCR-format series through ``repro.serve``.
+
+    Unlike ``classify`` this exercises the full serving path — compiled
+    pattern bank, validation, micro-batching, deadlines — and reports a
+    typed per-row status instead of failing on the first bad row.
+    """
+    tracer = _tracer_for(args)
+    X, _ = load_ucr_file(args.data)
+    with _build_service(args, tracer) as service:
+        results = service.predict_many(X, deadline_ms=args.deadline_ms)
+    failed = sum(not r.ok for r in results)
+    for i, result in enumerate(results):
+        if args.json:
+            print(json.dumps(_result_record(i, result)))
+        elif result.ok:
+            print(f"{i}\t{np.asarray(result.label).item()}")
+        else:
+            print(f"{i}\t<{result.status.value}:{result.error_code or '-'}>")
+    if failed:
+        print(f"{failed}/{len(results)} requests failed", file=sys.stderr)
+    _emit_observability(args, tracer)
+    return 0 if failed == 0 else 3
+
+
+def cmd_serve(args) -> int:
+    """``rpm serve``: micro-batched serving loop over stdin lines.
+
+    Each input line is one series (whitespace- or comma-separated
+    values); each output line is one JSON result record. The loop is
+    the same engine ``predict`` uses, kept open until EOF — pipe
+    requests in, stream typed predictions out.
+    """
+    tracer = _tracer_for(args)
+    stream = sys.stdin if args.input == "-" else open(args.input)
+    try:
+        with _build_service(args, tracer) as service:
+            print(service.model.describe(), file=sys.stderr)
+            count = 0
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                parts = line.replace(",", " ").split()
+                try:
+                    series = np.array([float(p) for p in parts])
+                except ValueError:
+                    series = np.array(parts, dtype=object)
+                result = service.predict_one(series, deadline_ms=args.deadline_ms)
+                print(json.dumps(_result_record(count, result)), flush=True)
+                count += 1
+            print(f"served {count} requests", file=sys.stderr)
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    _emit_observability(args, tracer)
+    return 0
+
+
 def cmd_motifs(args) -> int:
     """``repro motifs``: motif/discord discovery on a long series."""
     from .motif import find_discords_density, find_motifs
@@ -274,6 +375,45 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("model")
     classify.add_argument("data", help="UCR-format text file")
     classify.set_defaults(func=cmd_classify)
+
+    def add_serve_options(p):
+        p.add_argument("--model", required=True, help="saved model (.npz)")
+        p.add_argument("--max-batch", type=_positive_int, default=32,
+                       help="largest micro-batch coalesced into one model call")
+        p.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="longest a batch window stays open (0 disables "
+                            "coalescing)")
+        p.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline; expired requests get a "
+                            "typed timeout result")
+        p.add_argument("--no-warmup", action="store_true",
+                       help="skip the warm-up batch on startup")
+        p.add_argument("--jobs", type=_jobs_count, default=1,
+                       help="parallel workers for the compiled transform "
+                            "(-1 = all CPUs)")
+        p.add_argument("--parallel-backend", choices=["serial", "thread", "process"],
+                       default="thread", help="parallel execution backend")
+        p.add_argument("--trace", action="store_true",
+                       help="print a per-stage span tree (wall times) after the run")
+        p.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write spans + metrics as JSON lines to PATH")
+
+    predict = sub.add_parser(
+        "predict", help="label UCR-format series via the repro.serve engine"
+    )
+    predict.add_argument("data", help="UCR-format text file")
+    predict.add_argument("--json", action="store_true",
+                         help="emit one JSON result record per row")
+    add_serve_options(predict)
+    predict.set_defaults(func=cmd_predict)
+
+    serve = sub.add_parser(
+        "serve", help="micro-batched serving loop (one series per input line)"
+    )
+    serve.add_argument("--input", default="-",
+                       help="request source file ('-' = stdin)")
+    add_serve_options(serve)
+    serve.set_defaults(func=cmd_serve)
 
     motifs = sub.add_parser(
         "motifs", help="discover motifs/discords in a long series"

@@ -20,9 +20,24 @@ from .patterns import PatternCandidate, RepresentativePattern
 from .rpm import RPMClassifier
 from .selection import SelectionResult
 
-__all__ = ["save_model", "load_model", "FORMAT_VERSION"]
+__all__ = ["save_model", "load_model", "FORMAT_VERSION", "ModelFormatError"]
 
 FORMAT_VERSION = 1
+
+
+class ModelFormatError(ValueError):
+    """A model archive this build cannot read.
+
+    Raised up front by :func:`load_model` — before any reconstruction —
+    when the archive is missing its metadata or carries a format
+    version other than :data:`FORMAT_VERSION`. ``found`` and
+    ``expected`` make the mismatch programmatically inspectable.
+    """
+
+    def __init__(self, message: str, *, found=None, expected=FORMAT_VERSION) -> None:
+        super().__init__(message)
+        self.found = found
+        self.expected = expected
 
 
 def save_model(clf: RPMClassifier, path: str | Path) -> Path:
@@ -32,6 +47,10 @@ def save_model(clf: RPMClassifier, path: str | Path) -> Path:
     path = Path(path)
     meta = {
         "format_version": FORMAT_VERSION,
+        # Training series length: optional serving metadata (strict
+        # input validation + warm-up batch shape). Absent from archives
+        # written by older builds, so readers must tolerate None.
+        "series_length": getattr(clf, "n_timesteps_", None),
         "gamma": clf.gamma,
         "tau_percentile": clf.tau_percentile,
         "prototype": clf.prototype,
@@ -69,12 +88,27 @@ def save_model(clf: RPMClassifier, path: str | Path) -> Path:
 def load_model(path: str | Path) -> RPMClassifier:
     """Reconstruct a fitted classifier saved by :func:`save_model`."""
     path = Path(path)
-    with np.load(path, allow_pickle=False) as archive:
+    try:
+        archive_cm = np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except (ValueError, OSError) as exc:
+        raise ModelFormatError(
+            f"{path} is not an RPM model archive: {exc}", found=None
+        ) from exc
+    with archive_cm as archive:
+        if "meta_json" not in archive:
+            raise ModelFormatError(
+                f"{path} is not an RPM model archive (no metadata record)",
+                found=None,
+            )
         meta = json.loads(bytes(archive["meta_json"]).decode())
-        if meta.get("format_version") != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported model format {meta.get('format_version')!r}; "
-                f"this build reads version {FORMAT_VERSION}"
+        found = meta.get("format_version")
+        if found != FORMAT_VERSION:
+            raise ModelFormatError(
+                f"unsupported model format version {found!r} in {path}; "
+                f"this build reads version {FORMAT_VERSION}",
+                found=found,
             )
         train_features = archive["train_features"]
         train_labels = archive["train_labels"]
@@ -123,6 +157,8 @@ def load_model(path: str | Path) -> RPMClassifier:
     )
     clf.classes_ = np.unique(train_labels)
     clf._train_labels = train_labels
+    length = meta.get("series_length")
+    clf.n_timesteps_ = int(length) if length is not None else None
     clf.classifier_ = clf.classifier_factory()
     clf.classifier_.fit(train_features, train_labels)
     return clf

@@ -24,6 +24,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..base import BaseEstimator, keyword_only
 from ..ml.svm import SVC
 from ..obs import resolve_tracer
 from ..obs.metrics import registry
@@ -40,8 +41,13 @@ from .transform import pattern_features
 __all__ = ["RPMClassifier"]
 
 
-class RPMClassifier:
+class RPMClassifier(BaseEstimator):
     """Representative Pattern Mining classifier.
+
+    Configuration is keyword-only (legacy positional ``sax_params``
+    still works for one release behind a :class:`DeprecationWarning`);
+    :class:`~repro.base.BaseEstimator` supplies ``get_params`` /
+    ``set_params`` / ``clone``.
 
     Parameters
     ----------
@@ -89,10 +95,11 @@ class RPMClassifier:
         traced runs are bitwise identical to untraced ones.
     """
 
+    @keyword_only("sax_params")
     def __init__(
         self,
-        sax_params: SaxParams | dict | None = None,
         *,
+        sax_params: SaxParams | dict | None = None,
         param_search: str = "direct",
         ranges: ParamRanges | None = None,
         gamma: float = 0.2,
@@ -136,6 +143,9 @@ class RPMClassifier:
         self.n_jobs = n_jobs
         self.parallel_backend = parallel_backend
         self.cache_size = cache_size
+        # ``trace`` is kept verbatim for get_params()/clone(); the
+        # resolved tracer is what the pipeline actually uses.
+        self.trace = trace
         self.tracer = resolve_tracer(trace)
         self._stats_cache = WindowStatsCache(cache_size)
 
@@ -144,6 +154,7 @@ class RPMClassifier:
         self.selection_: SelectionResult | None = None
         self.classifier_ = None
         self.classes_: np.ndarray | None = None
+        self.n_timesteps_: int | None = None
         self.n_param_evaluations_: int = 0
         self._train_labels: np.ndarray | None = None
 
@@ -171,6 +182,7 @@ class RPMClassifier:
         self.classes_ = np.unique(y)
         if self.classes_.size < 2:
             raise ValueError("need at least two classes")
+        self.n_timesteps_ = int(X.shape[1])
 
         tracer = self.tracer
         with tracer.span("fit") as fit_span, tracer.adopt(fit_span):

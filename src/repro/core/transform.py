@@ -27,13 +27,33 @@ from ..obs.tracer import NOOP
 from ..runtime.cache import WindowStatsCache, default_cache
 from ..runtime.kernel import sliding_best_distances
 
-__all__ = ["pattern_features", "pattern_feature_row"]
+__all__ = ["pattern_features", "pattern_feature_row", "pattern_values", "rotate_halves"]
 
 
-def _pattern_values(pattern) -> np.ndarray:
-    # Accept raw arrays, PatternCandidate and RepresentativePattern.
+def pattern_values(pattern) -> np.ndarray:
+    """Raw values of a pattern-like object.
+
+    Accepts raw arrays, :class:`~repro.core.patterns.PatternCandidate`
+    and :class:`~repro.core.patterns.RepresentativePattern` — anything
+    with a ``values`` attribute or convertible to a float array.
+    """
     values = getattr(pattern, "values", pattern)
     return np.asarray(values, dtype=float)
+
+
+# Backwards-compatible private alias (pre-serve callers).
+_pattern_values = pattern_values
+
+
+def rotate_halves(X: np.ndarray) -> np.ndarray:
+    """Each row cut at its midpoint with the halves swapped (§6.1).
+
+    The rotation-invariant transform matches patterns against both the
+    original matrix and this copy and keeps the minimum; the serving
+    engine shares this exact expression so batched and in-process
+    transforms stay bitwise identical.
+    """
+    return np.column_stack([X[:, X.shape[1] // 2 :], X[:, : X.shape[1] // 2]])
 
 
 def pattern_feature_row(
@@ -116,11 +136,9 @@ def pattern_features(
     with tracer.span("transform") as span:
         span.add("transform.series", X.shape[0])
         span.add("transform.patterns", len(patterns))
-        X_rot = None
-        if rotation_invariant:
-            X_rot = np.column_stack([X[:, X.shape[1] // 2 :], X[:, : X.shape[1] // 2]])
+        X_rot = rotate_halves(X) if rotation_invariant else None
 
-        values_list = [_pattern_values(p) for p in patterns]
+        values_list = [pattern_values(p) for p in patterns]
         serial = executor is None or executor.backend == "serial"
         if serial or executor.backend == "thread":
             shared_cache = cache if cache is not None else default_cache()

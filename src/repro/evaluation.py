@@ -8,12 +8,17 @@ without the pytest scaffolding::
     from repro.evaluation import compare, evaluate
     from repro.data import load
 
-    result = evaluate(lambda: RPMClassifier(seed=0), load("CBF"))
+    result = evaluate(RPMClassifier(seed=0), load("CBF"))
     table = compare(
-        {"RPM": lambda: RPMClassifier(seed=0), "NN-ED": NearestNeighborED},
+        {"RPM": RPMClassifier(seed=0), "NN-ED": NearestNeighborED},
         [load("CBF"), load("GunPointSim")],
     )
     print(table.render())
+
+Methods may be given as configured estimator *instances* (cloned per
+run through the :mod:`repro.base` protocol), estimator classes, or
+zero-argument factories — all three spawn a fresh model per
+(method, dataset) pair so state never leaks between runs.
 """
 
 from __future__ import annotations
@@ -24,11 +29,32 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .base import clone
 from .data.base import Dataset
 from .ml.metrics import error_rate
 from .ml.stats import wilcoxon_signed_rank
 
 __all__ = ["EvalResult", "ComparisonTable", "evaluate", "compare"]
+
+
+def _instantiate(method):
+    """A fresh, unfitted model from an instance, class or factory.
+
+    A configured estimator instance (anything cloneable through the
+    :mod:`repro.base` protocol) is cloned so the caller's object is
+    never mutated; classes and zero-argument factories are simply
+    called.
+    """
+    if not isinstance(method, type) and hasattr(method, "fit") and (
+        hasattr(method, "clone") or hasattr(method, "get_params")
+    ):
+        return clone(method)
+    if callable(method):
+        return method()
+    raise TypeError(
+        f"method must be an estimator instance, class or zero-argument "
+        f"factory, got {method!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -105,7 +131,7 @@ class ComparisonTable:
 
 
 def evaluate(
-    method_factory: Callable,
+    method: Callable | object,
     dataset: Dataset,
     *,
     name: str | None = None,
@@ -113,12 +139,14 @@ def evaluate(
 ) -> EvalResult:
     """Fit a fresh model on the dataset's train split, score the test split.
 
+    ``method`` is a configured estimator instance (cloned, never
+    mutated), an estimator class, or a zero-argument factory.
     ``n_jobs`` overrides the parallel worker count on models that
     support it (anything exposing an ``n_jobs`` attribute, like
     :class:`~repro.core.rpm.RPMClassifier`); other models ignore it.
     Parallelism never changes predictions — only wall-clock.
     """
-    model = method_factory()
+    model = _instantiate(method)
     if n_jobs is not None and hasattr(model, "n_jobs"):
         model.n_jobs = n_jobs
     label = name or type(model).__name__
@@ -138,7 +166,7 @@ def evaluate(
 
 
 def compare(
-    methods: dict[str, Callable],
+    methods: dict[str, Callable | object],
     datasets: Sequence[Dataset],
     *,
     verbose: bool = False,
@@ -146,10 +174,10 @@ def compare(
 ) -> ComparisonTable:
     """Evaluate every method on every dataset.
 
-    ``methods`` maps display name to a zero-argument factory; a fresh
-    model is constructed per (method, dataset) pair so state never
-    leaks between runs. ``n_jobs`` is forwarded to every evaluation
-    (see :func:`evaluate`).
+    ``methods`` maps display name to an estimator instance, class or
+    zero-argument factory; a fresh model is spawned per
+    (method, dataset) pair so state never leaks between runs.
+    ``n_jobs`` is forwarded to every evaluation (see :func:`evaluate`).
     """
     if not methods:
         raise ValueError("methods must be non-empty")
@@ -159,8 +187,8 @@ def compare(
         methods=list(methods), datasets=[ds.name for ds in datasets]
     )
     for dataset in datasets:
-        for name, factory in methods.items():
-            result = evaluate(factory, dataset, name=name, n_jobs=n_jobs)
+        for name, method in methods.items():
+            result = evaluate(method, dataset, name=name, n_jobs=n_jobs)
             table.results[(name, dataset.name)] = result
             if verbose:
                 print(

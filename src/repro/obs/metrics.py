@@ -111,6 +111,20 @@ class MetricsRegistry:
                 gauge = self._gauges[name] = Gauge(name)
             gauge.value = value
 
+    def add_gauge(self, name: str, delta: float) -> None:
+        """Adjust gauge ``name`` by ``delta`` atomically.
+
+        The read-modify-write happens under the registry lock, so
+        paired increments/decrements from different threads (e.g. the
+        serve queue-depth gauge: +1 on enqueue, -1 on dequeue) can
+        never lose an update.
+        """
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge(name)
+            gauge.value += delta
+
     def observe(self, name: str, value: float) -> None:
         """Record one observation into histogram ``name``."""
         with self._lock:

@@ -23,7 +23,13 @@ import numpy as np
 
 from ..sax.znorm import NORM_THRESHOLD, is_flat, znorm
 
-__all__ = ["SlidingWindowStats", "resample_pattern", "sliding_best_distances"]
+__all__ = [
+    "PrenormalizedPattern",
+    "SlidingWindowStats",
+    "prenormalize_pattern",
+    "resample_pattern",
+    "sliding_best_distances",
+]
 
 
 def resample_pattern(pattern: np.ndarray, length: int) -> np.ndarray:
@@ -36,6 +42,47 @@ def resample_pattern(pattern: np.ndarray, length: int) -> np.ndarray:
     old = np.linspace(0.0, 1.0, num=pattern.size)
     new = np.linspace(0.0, 1.0, num=length)
     return np.interp(new, old, pattern)
+
+
+class PrenormalizedPattern:
+    """A pattern with its z-normalization hoisted out of the hot loop.
+
+    :meth:`SlidingWindowStats.profiles` recomputes ``znorm(pattern)``
+    and ``q @ q`` on every call; a serving engine matching the same
+    pattern bank against every request can pay that once at compile
+    time instead (see :class:`repro.serve.CompiledModel`). The stored
+    values are exactly what ``profiles`` would compute — same
+    expressions, same inputs — so the precompiled path stays bitwise
+    identical to the on-the-fly one.
+    """
+
+    __slots__ = ("q", "q_is_flat", "qq", "length")
+
+    def __init__(self, q: np.ndarray, q_is_flat: bool, qq: float) -> None:
+        self.q = q
+        self.q_is_flat = q_is_flat
+        self.qq = qq
+        self.length = int(q.size)
+
+    def __reduce__(self):
+        # Plain-tuple pickling so process-backend workers can carry
+        # precompiled banks by value.
+        return (PrenormalizedPattern, (self.q, self.q_is_flat, self.qq))
+
+
+def prenormalize_pattern(pattern: np.ndarray) -> PrenormalizedPattern:
+    """Precompute the per-pattern half of the distance profile.
+
+    Returns the z-normalized pattern, its flatness flag and its squared
+    norm — everything :meth:`SlidingWindowStats.profiles` derives from
+    the raw values before touching the windows.
+    """
+    pattern = np.asarray(pattern, dtype=float)
+    if pattern.ndim != 1:
+        raise ValueError(f"pattern must be 1-D, got shape {pattern.shape}")
+    q = znorm(pattern)
+    q_is_flat = not q.any()
+    return PrenormalizedPattern(q, q_is_flat, float(q @ q))
 
 
 class SlidingWindowStats:
@@ -109,15 +156,26 @@ class SlidingWindowStats:
             raise ValueError(
                 f"pattern must be 1-D with {self.length} points, got shape {pattern.shape}"
             )
-        L = self.length
-        q = znorm(pattern)
-        q_is_flat = not q.any()
+        return self.profiles_prenormalized(prenormalize_pattern(pattern))
 
-        dot = self._windows @ q  # (n, J)
+    def profiles_prenormalized(self, pre: PrenormalizedPattern) -> np.ndarray:
+        """Distance profiles for an already-normalized pattern.
+
+        The arithmetic is the shared core of :meth:`profiles`; callers
+        holding a :class:`PrenormalizedPattern` (serving engines, batch
+        transforms over a fixed bank) skip the per-call z-normalization
+        without changing a single floating-point expression.
+        """
+        if pre.length != self.length:
+            raise ValueError(
+                f"pattern must have {self.length} points, got {pre.length}"
+            )
+        L = self.length
+        dot = self._windows @ pre.q  # (n, J)
         d2 = 2.0 * L - 2.0 * dot / self._safe_sd
         # Flat window vs pattern: ẑ(w) = 0, so dist² = Σ q².
-        d2[self._flat] = 0.0 if q_is_flat else float(q @ q)
-        if q_is_flat:
+        d2[self._flat] = 0.0 if pre.q_is_flat else pre.qq
+        if pre.q_is_flat:
             # Pattern flat vs non-flat window: dist² = Σ ẑ(w)² = L.
             d2[~self._flat] = float(L)
         np.maximum(d2, 0.0, out=d2)
@@ -126,6 +184,10 @@ class SlidingWindowStats:
     def best_distances(self, pattern: np.ndarray) -> np.ndarray:
         """Closest-match distance of one pattern to every row."""
         return self.profiles(pattern).min(axis=1)
+
+    def best_distances_prenormalized(self, pre: PrenormalizedPattern) -> np.ndarray:
+        """Closest-match distance of a precompiled pattern to every row."""
+        return self.profiles_prenormalized(pre).min(axis=1)
 
 
 def sliding_best_distances(

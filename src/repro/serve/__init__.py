@@ -1,0 +1,39 @@
+"""repro.serve — batched inference over fitted RPM models.
+
+The paper's headline is *efficient classification*: once the
+representative patterns are mined, labelling a series is one
+closest-match transform plus an SVM call. This package is the serving
+path for that claim:
+
+* :class:`CompiledModel` — a :mod:`repro.core.io` artifact loaded once,
+  its pattern bank pre-z-normalized and length-bucketed so every
+  request batch builds sliding-window statistics once per length;
+* :class:`PredictionService` — micro-batching (``max_batch`` /
+  ``max_delay_ms``), per-request deadlines with typed timeout results,
+  strict input validation and warm-up, all instrumented through
+  :mod:`repro.obs`.
+
+Typical use::
+
+    from repro.serve import CompiledModel, PredictionService
+
+    model = CompiledModel.load("model.npz", n_jobs=4)
+    with PredictionService(model, max_batch=64, max_delay_ms=2.0) as svc:
+        result = svc.predict_one(series, deadline_ms=50.0)
+        labels = svc.predict(X_batch)   # == RPMClassifier.predict, bitwise
+
+See ``docs/serving.md`` for the full lifecycle and knob catalogue.
+"""
+
+from .compiled import CompiledModel
+from .service import PredictionService
+from .types import PredictionRequest, PredictionResult, ResultStatus, validate_series
+
+__all__ = [
+    "CompiledModel",
+    "PredictionService",
+    "PredictionRequest",
+    "PredictionResult",
+    "ResultStatus",
+    "validate_series",
+]

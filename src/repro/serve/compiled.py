@@ -1,0 +1,250 @@
+"""A fitted RPM model compiled for serving.
+
+Training-side transforms (:func:`repro.core.transform.pattern_features`)
+re-derive everything per call: pattern values are re-read, z-normalized
+and hashed into the statistics cache on every request. A
+:class:`CompiledModel` does that work once at load time instead:
+
+* pattern values are grouped into **length buckets** and each pattern
+  is pre-z-normalized (:func:`repro.runtime.kernel.prenormalize_pattern`
+  — prototype, flatness flag and squared norm precomputed);
+* per request, the sliding-window statistics of the input batch are
+  built **once per bucket** and every pattern of that length reuses
+  them — the same reuse the training cache provides, without the
+  fingerprint hashing on the hot path;
+* buckets fan out across a persistent
+  :class:`~repro.runtime.executor.ParallelExecutor`.
+
+Every floating-point expression matches the training transform, so
+compiled predictions are bitwise identical to
+``RPMClassifier.predict`` — the serve test suite pins this.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.transform import pattern_values, rotate_halves
+from ..obs import resolve_tracer
+from ..runtime.executor import BACKENDS, ParallelExecutor
+from ..runtime.kernel import (
+    PrenormalizedPattern,
+    SlidingWindowStats,
+    prenormalize_pattern,
+    resample_pattern,
+)
+
+__all__ = ["CompiledModel"]
+
+
+class _Bucket:
+    """All precompiled patterns sharing one effective length."""
+
+    __slots__ = ("length", "cols", "pres")
+
+    def __init__(self, length: int, cols: list[int], pres: list[PrenormalizedPattern]):
+        self.length = length
+        self.cols = cols
+        self.pres = pres
+
+    def __reduce__(self):
+        # Process-backend workers receive buckets by value.
+        return (_Bucket, (self.length, self.cols, self.pres))
+
+
+def _bucket_block(args) -> tuple[list[int], np.ndarray]:
+    """Feature columns of one bucket (module-level: picklable worker).
+
+    Builds the bucket's sliding-window statistics for this batch and
+    runs every precompiled pattern of that length through them. The
+    constructor and the per-pattern arithmetic are exactly those of the
+    training transform, so scheduling never changes a bit.
+    """
+    bucket, X, X_rot = args
+    stats = SlidingWindowStats(X, bucket.length)
+    stats_rot = SlidingWindowStats(X_rot, bucket.length) if X_rot is not None else None
+    block = np.empty((X.shape[0], len(bucket.cols)))
+    for j, pre in enumerate(bucket.pres):
+        dist = stats.best_distances_prenormalized(pre)
+        if stats_rot is not None:
+            dist = np.minimum(dist, stats_rot.best_distances_prenormalized(pre))
+        block[:, j] = dist
+    return bucket.cols, block
+
+
+class CompiledModel:
+    """A loaded RPM artifact with its pattern bank precompiled.
+
+    Parameters
+    ----------
+    patterns:
+        The fitted model's representative patterns (anything accepted
+        by :func:`~repro.core.transform.pattern_values`), in feature
+        order.
+    classifier:
+        The fitted downstream classifier (``predict`` over the
+        pattern-distance feature matrix).
+    rotation_invariant:
+        Whether the transform also matches the halfway-rotated copy.
+    classes:
+        Class labels, for reporting.
+    series_length:
+        Training series length when the artifact records it; used for
+        warm-up shapes and strict input validation upstream.
+    n_jobs / parallel_backend:
+        Worker fan-out for the per-bucket transform. Unlike the
+        training classifier, the executor is *persistent* — a serving
+        process must not pay pool start-up per request. Call
+        :meth:`close` (or use the model as a context manager) to tear
+        it down.
+    trace:
+        Observability knob (same contract as ``RPMClassifier(trace=)``).
+    """
+
+    def __init__(
+        self,
+        patterns,
+        classifier,
+        *,
+        rotation_invariant: bool = False,
+        classes=None,
+        series_length: int | None = None,
+        n_jobs: int = 1,
+        parallel_backend: str = "thread",
+        trace=None,
+    ) -> None:
+        if parallel_backend not in BACKENDS:
+            raise ValueError(
+                f"parallel_backend must be one of {BACKENDS}, got {parallel_backend!r}"
+            )
+        if not patterns:
+            raise ValueError("CompiledModel needs a non-empty pattern bank")
+        self.classifier = classifier
+        self.rotation_invariant = bool(rotation_invariant)
+        self.classes = None if classes is None else np.asarray(classes)
+        self.series_length = None if series_length is None else int(series_length)
+        self.tracer = resolve_tracer(trace)
+        self._values = [pattern_values(p) for p in patterns]
+        self.n_patterns = len(self._values)
+        self.max_pattern_length = max(v.size for v in self._values)
+        self._executor = ParallelExecutor(n_jobs, parallel_backend)
+        # Plans are per input length m (resampling depends on m); the
+        # native plan — no pattern longer than the input — dominates in
+        # practice and is compiled eagerly.
+        self._plans: dict[int, list[_Bucket]] = {}
+        self._native_plan = self._compile(self.max_pattern_length)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_classifier(cls, clf, **runtime) -> "CompiledModel":
+        """Compile a fitted :class:`~repro.core.rpm.RPMClassifier`."""
+        if not getattr(clf, "patterns_", None) or clf.classifier_ is None:
+            raise RuntimeError("cannot compile an unfitted RPMClassifier")
+        return cls(
+            clf.patterns_,
+            clf.classifier_,
+            rotation_invariant=clf.rotation_invariant,
+            classes=clf.classes_,
+            series_length=getattr(clf, "n_timesteps_", None),
+            **runtime,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path, **runtime) -> "CompiledModel":
+        """Load a :func:`~repro.core.io.save_model` artifact and compile it."""
+        from ..core.io import load_model
+
+        return cls.from_classifier(load_model(path), **runtime)
+
+    def _compile(self, m: int) -> list[_Bucket]:
+        """Length-bucketed, pre-z-normalized bank for inputs of length ``m``."""
+        grouped: dict[int, _Bucket] = {}
+        for col, values in enumerate(self._values):
+            effective = resample_pattern(values, m) if values.size > m else values
+            bucket = grouped.get(effective.size)
+            if bucket is None:
+                bucket = grouped[effective.size] = _Bucket(effective.size, [], [])
+            bucket.cols.append(col)
+            bucket.pres.append(prenormalize_pattern(effective))
+        return [grouped[length] for length in sorted(grouped)]
+
+    def _plan_for(self, m: int) -> list[_Bucket]:
+        if m >= self.max_pattern_length:
+            return self._native_plan
+        plan = self._plans.get(m)
+        if plan is None:
+            plan = self._plans[m] = self._compile(m)
+        return plan
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the persistent executor down (idempotent)."""
+        self._executor.close()
+
+    def __enter__(self) -> "CompiledModel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- inference -------------------------------------------------------------
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Pattern-distance features ``(n, K)`` of a request batch.
+
+        Bitwise identical to the training-side
+        :func:`~repro.core.transform.pattern_features` on the same
+        rows, for every executor configuration.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[1] < 2:
+            raise ValueError(f"series need >= 2 points, got {X.shape[1]}")
+        with self.tracer.span("compiled.transform") as span:
+            span.add("transform.series", X.shape[0])
+            span.add("transform.patterns", self.n_patterns)
+            plan = self._plan_for(X.shape[1])
+            X_rot = rotate_halves(X) if self.rotation_invariant else None
+            jobs = [(bucket, X, X_rot) for bucket in plan]
+            if self._executor.backend == "serial" or len(jobs) == 1:
+                blocks = [_bucket_block(job) for job in jobs]
+            else:
+                blocks = self._executor.map(_bucket_block, jobs)
+            out = np.empty((X.shape[0], self.n_patterns))
+            for cols, block in blocks:
+                out[:, cols] = block
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Class labels for every row of ``X``."""
+        with self.tracer.span("compiled.predict"):
+            return self.classifier.predict(self.transform(X))
+
+    def warmup(self, n: int = 4, length: int | None = None) -> None:
+        """Push one deterministic dummy batch through the full path.
+
+        Touches plan compilation, window statistics, the per-pattern
+        mat-vecs and the classifier so the first real request does not
+        pay first-call costs (allocator warm-up, BLAS thread spin-up,
+        lazy pool creation).
+        """
+        length = length or self.series_length or self.max_pattern_length
+        t = np.arange(int(length), dtype=float)
+        batch = np.stack([np.sin(0.1 * t + k) for k in range(max(1, n))])
+        with self.tracer.span("compiled.warmup"):
+            self.predict(batch)
+
+    def describe(self) -> str:
+        """One-line bank summary for logs."""
+        lengths = ", ".join(
+            f"{b.length}×{len(b.cols)}" for b in self._native_plan
+        )
+        return (
+            f"CompiledModel({self.n_patterns} patterns, "
+            f"buckets [{lengths}], rotation_invariant={self.rotation_invariant})"
+        )

@@ -1,0 +1,319 @@
+"""Micro-batching prediction service over a :class:`CompiledModel`.
+
+The serving loop is the classic latency/throughput trade: requests
+arriving within a short window are coalesced into one batch, so the
+per-batch costs — sliding-window statistics, one mat-vec per pattern,
+one SVM call — amortize over every request in it.
+
+One background worker thread drains the queue: the first request opens
+a batch window, further requests join until ``max_batch`` is reached or
+``max_delay_ms`` elapses, then the whole batch runs through the
+compiled transform. Each request resolves to a typed
+:class:`~repro.serve.types.PredictionResult`:
+
+* validation failures resolve immediately at submit time (they never
+  occupy queue or batch slots);
+* requests whose deadline expired while queued are answered with a
+  ``TIMEOUT`` result instead of being computed — graceful degradation
+  under overload;
+* a model failure mid-batch resolves every member with an ``ERROR``
+  result; the worker loop never dies.
+
+Batching is invisible in the outputs: the per-row transform is
+row-independent and bitwise reproducible (pinned by the parity and
+serve test suites), so predictions do not depend on which batch a
+request landed in.
+
+Observability: every batch is a ``serve.batch`` span; the metrics
+registry carries ``serve.requests`` / ``serve.batches`` /
+``serve.invalid`` / ``serve.deadline_misses`` / ``serve.errors``
+counters, the ``serve.batch_size`` and ``serve.queue_wait_seconds``
+histograms and the ``serve.queue_depth`` gauge (see
+``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+
+from ..obs import resolve_tracer
+from ..obs.metrics import MetricsRegistry, registry
+from .compiled import CompiledModel
+from .types import PredictionRequest, PredictionResult, ResultStatus, validate_series
+
+__all__ = ["PredictionService"]
+
+_STOP = object()
+
+
+class PredictionService:
+    """Batched, deadline-aware serving front-end.
+
+    Parameters
+    ----------
+    model:
+        The compiled model to serve.
+    max_batch:
+        Largest number of requests coalesced into one model call.
+    max_delay_ms:
+        Longest a batch window stays open waiting for more requests.
+        ``0`` disables coalescing (every request is its own batch).
+    default_deadline_ms:
+        Deadline applied to requests that do not bring their own;
+        ``None`` means no deadline.
+    validate:
+        Strict input validation at submit time (length/NaN/dtype).
+        Leave on unless the caller guarantees clean input.
+    warmup:
+        Run :meth:`CompiledModel.warmup` on :meth:`start`.
+    trace / metrics:
+        Observability wiring; defaults to the no-op tracer and the
+        process-wide registry.
+    """
+
+    def __init__(
+        self,
+        model: CompiledModel,
+        *,
+        max_batch: int = 32,
+        max_delay_ms: float = 2.0,
+        default_deadline_ms: float | None = None,
+        validate: bool = True,
+        warmup: bool = True,
+        trace=None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        self.model = model
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_ms) / 1000.0
+        self.default_deadline_ms = default_deadline_ms
+        self.validate = bool(validate)
+        self._warmup = bool(warmup)
+        self.tracer = resolve_tracer(trace)
+        self.metrics = metrics if metrics is not None else registry()
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._thread: threading.Thread | None = None
+        self._running = False
+        self._next_id = 0
+        self._id_lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "PredictionService":
+        """Warm the model up and launch the batching worker."""
+        if self._running:
+            return self
+        if self._warmup:
+            self.model.warmup(n=min(4, self.max_batch))
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._worker, name="rpm-serve-batcher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain-and-stop: queued requests are still answered."""
+        if not self._running:
+            return
+        self._running = False
+        self._queue.put(_STOP)
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "PredictionService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- submission ------------------------------------------------------------
+
+    def _new_id(self) -> int:
+        with self._id_lock:
+            self._next_id += 1
+            return self._next_id
+
+    def submit(self, series, *, deadline_ms: float | None = None) -> Future:
+        """Enqueue one series; returns a future of a PredictionResult.
+
+        Invalid input resolves the future immediately with an
+        ``INVALID`` result — nothing malformed ever reaches the model.
+        """
+        if not self._running:
+            raise RuntimeError(
+                "PredictionService is not running; use `with service:` or call start()"
+            )
+        request_id = self._new_id()
+        future: Future = Future()
+        self.metrics.inc("serve.requests")
+        expected = self.model.series_length if self.validate else None
+        if self.validate:
+            values, code, message = validate_series(series, expected)
+        else:
+            values, code, message = np.asarray(series, dtype=float), None, None
+        if code is not None:
+            self.metrics.inc("serve.invalid")
+            future.set_result(
+                PredictionResult(
+                    request_id=request_id,
+                    status=ResultStatus.INVALID,
+                    error_code=code,
+                    error_message=message,
+                )
+            )
+            return future
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        now = time.monotonic()
+        request = PredictionRequest(
+            series=values,
+            request_id=request_id,
+            deadline=None if deadline_ms is None else now + deadline_ms / 1000.0,
+            enqueued_at=now,
+        )
+        self.metrics.add_gauge("serve.queue_depth", 1)
+        self._queue.put((request, future))
+        return future
+
+    def predict_one(
+        self, series, *, deadline_ms: float | None = None, wait_s: float | None = None
+    ) -> PredictionResult:
+        """Submit one series and block for its typed result."""
+        return self.submit(series, deadline_ms=deadline_ms).result(timeout=wait_s)
+
+    def predict_many(
+        self, X, *, deadline_ms: float | None = None, wait_s: float | None = None
+    ) -> list[PredictionResult]:
+        """Submit every row of ``X`` and block for all results, in order."""
+        futures = [self.submit(row, deadline_ms=deadline_ms) for row in np.asarray(X, dtype=float)]
+        return [future.result(timeout=wait_s) for future in futures]
+
+    def predict(self, X) -> np.ndarray:
+        """Label array for a clean batch — the RPMClassifier.predict shape.
+
+        Every row must come back ``OK``; a validation failure, timeout
+        or model error raises instead of silently dropping rows. The
+        returned labels are bitwise identical to
+        ``RPMClassifier.predict(X)`` on the same fitted model.
+        """
+        results = self.predict_many(X)
+        bad = [r for r in results if not r.ok]
+        if bad:
+            first = bad[0]
+            raise RuntimeError(
+                f"{len(bad)}/{len(results)} requests failed; first: "
+                f"{first.status.value} ({first.error_code or first.error_message})"
+            )
+        return np.array([r.label for r in results])
+
+    # -- worker loop -----------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            stopping = item is _STOP
+            batch = [] if stopping else [item]
+            if not stopping:
+                window_closes = time.monotonic() + self.max_delay_s
+                while len(batch) < self.max_batch:
+                    remaining = window_closes - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                    if nxt is _STOP:
+                        stopping = True
+                        break
+                    batch.append(nxt)
+            if stopping:
+                # Drain-and-answer whatever is still queued so no
+                # submitted future ever dangles.
+                batch.extend(self._drain())
+            for lo in range(0, len(batch), self.max_batch):
+                self._process(batch[lo : lo + self.max_batch])
+            if stopping:
+                return
+
+    def _drain(self) -> list:
+        batch = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return batch
+            if item is not _STOP:
+                batch.append(item)
+
+    def _process(self, batch: list) -> None:
+        now = time.monotonic()
+        self.metrics.inc("serve.batches")
+        self.metrics.observe("serve.batch_size", len(batch))
+        self.metrics.add_gauge("serve.queue_depth", -len(batch))
+        with self.tracer.span("serve.batch") as span:
+            span.add("batch.size", len(batch))
+            live: list[tuple[PredictionRequest, Future]] = []
+            for request, future in batch:
+                self.metrics.observe(
+                    "serve.queue_wait_seconds", now - request.enqueued_at
+                )
+                if request.deadline is not None and now > request.deadline:
+                    self.metrics.inc("serve.deadline_misses")
+                    span.add("batch.deadline_misses")
+                    future.set_result(
+                        PredictionResult(
+                            request_id=request.request_id,
+                            status=ResultStatus.TIMEOUT,
+                            deadline_missed=True,
+                            latency_ms=(now - request.enqueued_at) * 1000.0,
+                        )
+                    )
+                else:
+                    live.append((request, future))
+            if not live:
+                return
+            X = np.stack([request.series for request, _ in live])
+            try:
+                features = self.model.transform(X)
+                labels = self.model.classifier.predict(features)
+            except Exception as exc:  # typed results, never a dead worker
+                self.metrics.inc("serve.errors", len(live))
+                span.annotate(error=type(exc).__name__)
+                for request, future in live:
+                    future.set_result(
+                        PredictionResult(
+                            request_id=request.request_id,
+                            status=ResultStatus.ERROR,
+                            error_code="model-failure",
+                            error_message=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                return
+            done = time.monotonic()
+            for i, (request, future) in enumerate(live):
+                late = request.deadline is not None and done > request.deadline
+                if late:
+                    self.metrics.inc("serve.deadline_misses")
+                    span.add("batch.deadline_misses")
+                future.set_result(
+                    PredictionResult(
+                        request_id=request.request_id,
+                        status=ResultStatus.OK,
+                        label=labels[i],
+                        deadline_missed=late,
+                        latency_ms=(done - request.enqueued_at) * 1000.0,
+                        features=features[i],
+                    )
+                )

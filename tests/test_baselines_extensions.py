@@ -52,25 +52,25 @@ class TestBagOfPatterns:
     PARAMS = SaxParams(24, 4, 4)
 
     def test_learns_cbf(self, tiny_cbf):
-        clf = BagOfPatternsClassifier(self.PARAMS)
+        clf = BagOfPatternsClassifier(params=self.PARAMS)
         clf.fit(tiny_cbf.X_train, tiny_cbf.y_train)
         acc = np.mean(clf.predict(tiny_cbf.X_test) == tiny_cbf.y_test)
         assert acc > 0.55
 
     def test_cosine_metric(self, tiny_cbf):
-        clf = BagOfPatternsClassifier(self.PARAMS, metric="cosine")
+        clf = BagOfPatternsClassifier(params=self.PARAMS, metric="cosine")
         clf.fit(tiny_cbf.X_train, tiny_cbf.y_train)
         acc = np.mean(clf.predict(tiny_cbf.X_test) == tiny_cbf.y_test)
         assert acc > 0.5
 
     def test_transform_uses_train_vocabulary(self, tiny_cbf):
-        clf = BagOfPatternsClassifier(self.PARAMS)
+        clf = BagOfPatternsClassifier(params=self.PARAMS)
         clf.fit(tiny_cbf.X_train, tiny_cbf.y_train)
         F = clf.transform(tiny_cbf.X_test)
         assert F.shape == (tiny_cbf.n_test, len(clf.vocabulary_))
 
     def test_histograms_nonnegative_integers(self, tiny_cbf):
-        clf = BagOfPatternsClassifier(self.PARAMS)
+        clf = BagOfPatternsClassifier(params=self.PARAMS)
         clf.fit(tiny_cbf.X_train, tiny_cbf.y_train)
         H = clf.train_histograms_
         assert (H >= 0).all()
@@ -78,11 +78,11 @@ class TestBagOfPatterns:
 
     def test_rejects_bad_metric(self):
         with pytest.raises(ValueError, match="metric"):
-            BagOfPatternsClassifier(self.PARAMS, metric="manhattan")
+            BagOfPatternsClassifier(params=self.PARAMS, metric="manhattan")
 
     def test_predict_before_fit(self):
         with pytest.raises(RuntimeError, match="fit"):
-            BagOfPatternsClassifier(self.PARAMS).predict(np.zeros((1, 30)))
+            BagOfPatternsClassifier(params=self.PARAMS).predict(np.zeros((1, 30)))
 
 
 class TestTunedLearningShapelets:

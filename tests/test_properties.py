@@ -96,10 +96,13 @@ class TestDistanceProperties:
     )
     def test_best_match_vectorized_equals_scalar(self, pattern, series):
         # Moderate magnitudes: at extreme offsets the two estimators can
-        # legitimately disagree on which windows count as "flat".
+        # legitimately disagree on which windows count as "flat". The
+        # tolerance is scale-aware like test_euclidean's — the rolling
+        # identity loses absolute precision as window offsets grow.
         fast = best_match(pattern, series).distance
         slow = best_match_scalar(pattern, series).distance
-        assert abs(fast - slow) < 1e-6
+        scale = max(1.0, float(np.abs(series).max()))
+        assert abs(fast - slow) < 1e-6 * scale
 
     @given(arrays(np.float64, st.tuples(st.integers(2, 8), st.integers(1, 5)), elements=finite_floats))
     def test_pairwise_euclidean_metric_axioms(self, X):

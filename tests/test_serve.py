@@ -1,0 +1,232 @@
+"""Serving-layer tests: compiled transform equivalence, micro-batching,
+deadlines, validation and artifact format checks.
+
+The load-bearing assertion is *bitwise* equality between the serving
+path (CompiledModel / PredictionService) and the training-side
+``RPMClassifier`` transform and predictions — for every executor
+configuration, through artifact round-trips, and regardless of how
+requests were batched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import RPMClassifier, SaxParams
+from repro.core.io import FORMAT_VERSION, ModelFormatError, load_model, save_model
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import (
+    CompiledModel,
+    PredictionService,
+    ResultStatus,
+    validate_series,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_gun):
+    clf = RPMClassifier(sax_params=SaxParams(24, 4, 4), seed=0)
+    clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+    return clf
+
+
+@pytest.fixture(scope="module")
+def compiled(fitted):
+    with CompiledModel.from_classifier(fitted) as model:
+        yield model
+
+
+class TestCompiledModel:
+    def test_transform_bitwise_equals_classifier(self, fitted, compiled, tiny_gun):
+        expected = fitted.transform(tiny_gun.X_test)
+        np.testing.assert_array_equal(compiled.transform(tiny_gun.X_test), expected)
+
+    def test_predict_bitwise_equals_classifier(self, fitted, compiled, tiny_gun):
+        np.testing.assert_array_equal(
+            compiled.predict(tiny_gun.X_test), fitted.predict(tiny_gun.X_test)
+        )
+
+    @pytest.mark.parametrize("backend,jobs", [("serial", 1), ("thread", 2)])
+    def test_executor_config_never_changes_bits(
+        self, fitted, tiny_gun, backend, jobs
+    ):
+        with CompiledModel.from_classifier(
+            fitted, n_jobs=jobs, parallel_backend=backend
+        ) as model:
+            np.testing.assert_array_equal(
+                model.transform(tiny_gun.X_test), fitted.transform(tiny_gun.X_test)
+            )
+
+    def test_artifact_round_trip_is_bitwise(self, fitted, tiny_gun, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(fitted, path)
+        with CompiledModel.load(path) as model:
+            np.testing.assert_array_equal(
+                model.predict(tiny_gun.X_test), fitted.predict(tiny_gun.X_test)
+            )
+            assert model.series_length == tiny_gun.X_train.shape[1]
+
+    def test_short_input_uses_resampled_plan(self, fitted, compiled, tiny_gun):
+        # Inputs shorter than the longest pattern trigger per-length
+        # resampling; the compiled plan must match the training path there too.
+        X_short = tiny_gun.X_test[:4, : compiled.max_pattern_length - 2]
+        np.testing.assert_array_equal(
+            compiled.transform(X_short), fitted.transform(X_short)
+        )
+
+    def test_rotation_invariant_path(self, tiny_gun):
+        clf = RPMClassifier(
+            sax_params=SaxParams(24, 4, 4), seed=0, rotation_invariant=True
+        )
+        clf.fit(tiny_gun.X_train, tiny_gun.y_train)
+        with CompiledModel.from_classifier(clf, n_jobs=2) as model:
+            np.testing.assert_array_equal(
+                model.transform(tiny_gun.X_test), clf.transform(tiny_gun.X_test)
+            )
+
+    def test_rejects_unfitted_classifier(self):
+        with pytest.raises(RuntimeError, match="unfitted"):
+            CompiledModel.from_classifier(RPMClassifier(sax_params=SaxParams(24, 4, 4)))
+
+    def test_rejects_bad_input_shapes(self, compiled):
+        with pytest.raises(ValueError, match="2-D"):
+            compiled.transform(np.zeros(10))
+
+    def test_warmup_and_describe(self, compiled):
+        compiled.warmup(n=2)
+        assert "patterns" in compiled.describe()
+
+
+class TestPredictionService:
+    def test_batched_predictions_bitwise_equal_direct(self, fitted, compiled, tiny_gun):
+        with PredictionService(compiled, max_batch=8, max_delay_ms=5.0) as service:
+            labels = service.predict(tiny_gun.X_test)
+        np.testing.assert_array_equal(labels, fitted.predict(tiny_gun.X_test))
+
+    def test_one_by_one_equals_batched(self, fitted, compiled, tiny_gun):
+        X = tiny_gun.X_test[:6]
+        with PredictionService(compiled, max_batch=1, max_delay_ms=0.0) as service:
+            singles = [service.predict_one(row) for row in X]
+        assert all(r.ok for r in singles)
+        np.testing.assert_array_equal(
+            np.array([r.label for r in singles]), fitted.predict(X)
+        )
+
+    def test_results_carry_features_and_latency(self, fitted, compiled, tiny_gun):
+        with PredictionService(compiled) as service:
+            result = service.predict_one(tiny_gun.X_test[0])
+        np.testing.assert_array_equal(
+            result.features, fitted.transform(tiny_gun.X_test[:1])[0]
+        )
+        assert result.latency_ms >= 0.0
+
+    def test_invalid_inputs_get_typed_results(self, compiled, tiny_gun):
+        m = tiny_gun.X_test.shape[1]
+        metrics = MetricsRegistry()
+        nan_row = np.full(m, np.nan)
+        with PredictionService(compiled, metrics=metrics) as service:
+            nan_result = service.predict_one(nan_row)
+            short_result = service.predict_one(np.zeros(3))
+            matrix_result = service.predict_one(np.zeros((2, m)))
+            text_result = service.predict_one(["a"] * m)
+        assert nan_result.status is ResultStatus.INVALID
+        assert nan_result.error_code == "non-finite"
+        assert short_result.error_code == "bad-length"
+        assert matrix_result.error_code == "bad-shape"
+        assert text_result.error_code == "bad-dtype"
+        assert metrics.snapshot()["counters"]["serve.invalid"] == 4
+
+    def test_expired_deadline_yields_timeout(self, compiled, tiny_gun):
+        metrics = MetricsRegistry()
+        with PredictionService(
+            compiled, max_delay_ms=20.0, metrics=metrics
+        ) as service:
+            result = service.predict_one(tiny_gun.X_test[0], deadline_ms=0.0)
+        assert result.status is ResultStatus.TIMEOUT
+        assert result.deadline_missed
+        assert metrics.snapshot()["counters"]["serve.deadline_misses"] >= 1
+
+    def test_predict_raises_on_any_failure(self, compiled, tiny_gun):
+        X = tiny_gun.X_test[:3].copy()
+        X[1, 0] = np.nan
+        with PredictionService(compiled) as service:
+            with pytest.raises(RuntimeError, match="non-finite"):
+                service.predict(X)
+
+    def test_stop_drains_queued_requests(self, compiled, tiny_gun):
+        service = PredictionService(compiled, max_batch=4, max_delay_ms=50.0, warmup=False)
+        service.start()
+        futures = [service.submit(row) for row in tiny_gun.X_test[:10]]
+        service.stop()
+        assert all(f.result(timeout=1.0).ok for f in futures)
+
+    def test_submit_requires_running_service(self, compiled, tiny_gun):
+        service = PredictionService(compiled, warmup=False)
+        with pytest.raises(RuntimeError, match="not running"):
+            service.submit(tiny_gun.X_test[0])
+
+    def test_metrics_emitted(self, compiled, tiny_gun):
+        metrics = MetricsRegistry()
+        with PredictionService(compiled, metrics=metrics, warmup=False) as service:
+            service.predict(tiny_gun.X_test[:5])
+        snap = metrics.snapshot()
+        assert snap["counters"]["serve.requests"] == 5
+        assert snap["counters"]["serve.batches"] >= 1
+        assert snap["gauges"]["serve.queue_depth"] == 0
+        assert snap["histograms"]["serve.batch_size"]["count"] >= 1
+
+    def test_rejects_bad_knobs(self, compiled):
+        with pytest.raises(ValueError, match="max_batch"):
+            PredictionService(compiled, max_batch=0)
+        with pytest.raises(ValueError, match="max_delay_ms"):
+            PredictionService(compiled, max_delay_ms=-1.0)
+
+
+class TestValidateSeries:
+    def test_accepts_clean_series(self):
+        values, code, message = validate_series([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(values, [1.0, 2.0, 3.0])
+        assert code is None and message is None
+
+    def test_length_mismatch_names_both_lengths(self):
+        _, code, message = validate_series(np.zeros(5), expected_length=7)
+        assert code == "bad-length"
+        assert "5" in message and "7" in message
+
+
+class TestModelFormat:
+    def test_stale_version_raises_typed_error(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(fitted, path)
+        import json
+
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        meta = json.loads(bytes(payload["meta_json"]).decode())
+        meta["format_version"] = FORMAT_VERSION + 1
+        payload["meta_json"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        stale = tmp_path / "stale.npz"
+        np.savez(stale, **payload)
+        with pytest.raises(ModelFormatError) as excinfo:
+            load_model(stale)
+        assert excinfo.value.found == FORMAT_VERSION + 1
+        assert excinfo.value.expected == FORMAT_VERSION
+
+    def test_non_model_archive_raises_typed_error(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, data=np.zeros(3))
+        with pytest.raises(ModelFormatError, match="not an RPM model archive"):
+            load_model(path)
+
+    def test_non_archive_file_raises_typed_error(self, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_text("not an npz archive")
+        with pytest.raises(ModelFormatError, match="not an RPM model archive"):
+            load_model(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "missing.npz")
