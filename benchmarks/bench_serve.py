@@ -34,6 +34,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 import harness  # noqa: E402
 from repro import RPMClassifier, SaxParams  # noqa: E402
 from repro.data import load  # noqa: E402
+from repro.obs import registry, scoped_registry  # noqa: E402
 from repro.serve import CompiledModel, PredictionService  # noqa: E402
 
 THROUGHPUT_GATE_MIN_CPUS = 4
@@ -73,15 +74,26 @@ def run_bench() -> str:
         ("batched-threads", dict(max_batch=64, max_delay_ms=2.0), "thread", 2, True),
     ]
     for name, knobs, backend, jobs, coalesce in configs:
-        with CompiledModel.from_classifier(
-            clf, n_jobs=jobs, parallel_backend=backend
-        ) as model:
-            with PredictionService(model, **knobs) as service:
-                rate, labels = _throughput(service, X, coalesce=coalesce)
+        # Each config gets its own scoped registry so latency quantiles
+        # measure this run only, with the warm-up excluded via a
+        # post-start baseline snapshot + delta.
+        with scoped_registry():
+            with CompiledModel.from_classifier(
+                clf, n_jobs=jobs, parallel_backend=backend
+            ) as model:
+                with PredictionService(model, **knobs) as service:
+                    baseline = registry().snapshot()
+                    rate, labels = _throughput(service, X, coalesce=coalesce)
+            lat = registry().delta(baseline)["histograms"].get(
+                "serve.latency_seconds", {}
+            )
         # The acceptance criterion: batching/parallelism never changes a bit.
         np.testing.assert_array_equal(labels, expected)
         throughputs[name] = rate
-        rows.append([name, f"{rate:.0f}", f"{1000.0 / rate:.2f}"])
+        rows.append(
+            [name, f"{rate:.0f}", f"{1000.0 / rate:.2f}"]
+            + [f"{lat.get(q, 0.0) * 1000.0:.2f}" for q in ("p50", "p95", "p99")]
+        )
 
     speedup = throughputs["batched-serial"] / throughputs["single"]
     gated = (os.cpu_count() or 1) >= THROUGHPUT_GATE_MIN_CPUS
@@ -89,7 +101,9 @@ def run_bench() -> str:
         [
             f"Serving throughput — {len(X)} requests, "
             f"{len(clf.patterns_)} patterns ({os.cpu_count()} CPUs)",
-            harness.format_table(["mode", "req/s", "ms/req"], rows),
+            harness.format_table(
+                ["mode", "req/s", "ms/req", "p50 ms", "p95 ms", "p99 ms"], rows
+            ),
             f"\nbatched/single speedup: {speedup:.2f}x "
             f"(gate {'armed' if gated else 'off — <4 CPUs'})",
             "equivalence: batched labels bitwise-identical to RPMClassifier.predict",

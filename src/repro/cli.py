@@ -11,6 +11,9 @@ Usage (after ``pip install -e .``; installed as both ``rpm`` and
     rpm classify model.npz data.txt  # label series via the in-process model
     rpm predict --model model.npz data.txt   # label series via repro.serve
     rpm serve --model model.npz      # micro-batched serving loop on stdin
+    rpm serve --model model.npz --http-port 9100 --log-format json
+    rpm metrics --url http://127.0.0.1:9100  # scrape a live admin endpoint
+    rpm metrics --jsonl metrics.jsonl --format prometheus
 
 ``train``/``evaluate`` accept either a registry dataset name or (when
 ``RPM_UCR_ROOT`` is set) a real UCR archive dataset. ``predict`` and
@@ -41,7 +44,16 @@ from .core.rpm import RPMClassifier
 from .data import GENERATORS, available_ucr_datasets, load
 from .data.ucr import load_ucr_file
 from .ml.metrics import error_rate
-from .obs import Tracer, format_tree, registry, write_jsonl
+from .obs import (
+    Tracer,
+    configure_logging,
+    format_tree,
+    registry,
+    snapshot_from_jsonl,
+    to_json,
+    to_prometheus,
+    write_jsonl,
+)
 from .runtime.cache import DEFAULT_CACHE_SIZE
 from .sax.discretize import SaxParams
 from .serve import CompiledModel, PredictionService
@@ -68,6 +80,17 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """Argparse type for flags where zero means 'disabled'."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -211,6 +234,9 @@ def _build_service(args, tracer: Tracer | None = None) -> PredictionService:
         max_delay_ms=args.max_delay_ms,
         default_deadline_ms=args.deadline_ms,
         warmup=not args.no_warmup,
+        slow_ms=args.slow_ms,
+        flight_capacity=args.flight_size,
+        admin_port=getattr(args, "http_port", None),
         trace=tracer,
     )
 
@@ -219,10 +245,13 @@ def _result_record(index, result) -> dict:
     """JSON-safe view of one PredictionResult."""
     record = {
         "index": index,
+        "request_id": result.request_id,
         "status": result.status.value,
         "label": None if result.label is None else np.asarray(result.label).item(),
         "latency_ms": round(result.latency_ms, 3),
     }
+    if result.batch_id is not None:
+        record["batch_id"] = result.batch_id
     if result.error_code:
         record["error_code"] = result.error_code
         record["error"] = result.error_message
@@ -264,11 +293,14 @@ def cmd_serve(args) -> int:
     the same engine ``predict`` uses, kept open until EOF — pipe
     requests in, stream typed predictions out.
     """
+    configure_logging(args.log_format)
     tracer = _tracer_for(args)
     stream = sys.stdin if args.input == "-" else open(args.input)
     try:
         with _build_service(args, tracer) as service:
             print(service.model.describe(), file=sys.stderr)
+            if service.admin is not None:
+                print(f"admin endpoint on {service.admin.url()}", file=sys.stderr)
             count = 0
             for line in stream:
                 line = line.strip()
@@ -287,6 +319,35 @@ def cmd_serve(args) -> int:
         if stream is not sys.stdin:
             stream.close()
     _emit_observability(args, tracer)
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """``rpm metrics``: snapshot metrics from a live service or a dump.
+
+    ``--url`` scrapes the admin endpoint of a running ``rpm serve
+    --http-port`` process (its ``/metrics.json`` view); ``--jsonl``
+    rebuilds the snapshot from a ``--metrics-out`` JSON-lines dump.
+    Either renders as Prometheus text or a JSON document.
+    """
+    if args.url:
+        import urllib.error
+        import urllib.request
+
+        try:
+            with urllib.request.urlopen(
+                args.url.rstrip("/") + "/metrics.json", timeout=args.timeout
+            ) as response:
+                snapshot = json.load(response)
+        except urllib.error.URLError as exc:
+            print(f"error: cannot scrape {args.url}: {exc}", file=sys.stderr)
+            return 1
+    else:
+        snapshot = snapshot_from_jsonl(args.jsonl)
+    if args.format == "prometheus":
+        print(to_prometheus(snapshot), end="")
+    else:
+        print(to_json(snapshot, indent=2))
     return 0
 
 
@@ -388,6 +449,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "typed timeout result")
         p.add_argument("--no-warmup", action="store_true",
                        help="skip the warm-up batch on startup")
+        p.add_argument("--slow-ms", type=float, default=250.0,
+                       help="flight-record OK requests at or above this "
+                            "latency (0 disables slow capture)")
+        p.add_argument("--flight-size", type=_nonnegative_int, default=128,
+                       help="flight-recorder ring size — recent slow/error/"
+                            "timeout requests kept for /debug/requests "
+                            "(0 disables capture)")
         p.add_argument("--jobs", type=_jobs_count, default=1,
                        help="parallel workers for the compiled transform "
                             "(-1 = all CPUs)")
@@ -412,8 +480,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--input", default="-",
                        help="request source file ('-' = stdin)")
+    serve.add_argument("--http-port", type=_nonnegative_int, default=None,
+                       help="embedded admin endpoint port (/metrics /healthz "
+                            "/readyz /debug/requests; 0 = ephemeral)")
+    serve.add_argument("--log-format", choices=["text", "json"], default="text",
+                       help="structured log line format on stderr")
     add_serve_options(serve)
     serve.set_defaults(func=cmd_serve)
+
+    metrics = sub.add_parser(
+        "metrics", help="snapshot metrics from a live admin endpoint or a dump"
+    )
+    source = metrics.add_mutually_exclusive_group(required=True)
+    source.add_argument("--url", default=None,
+                        help="base URL of a running admin endpoint "
+                             "(e.g. http://127.0.0.1:9100)")
+    source.add_argument("--jsonl", default=None,
+                        help="a --metrics-out JSON-lines dump to render")
+    metrics.add_argument("--format", choices=["prometheus", "json"],
+                         default="prometheus", help="output format")
+    metrics.add_argument("--timeout", type=float, default=5.0,
+                         help="scrape timeout in seconds (--url only)")
+    metrics.set_defaults(func=cmd_metrics)
 
     motifs = sub.add_parser(
         "motifs", help="discover motifs/discords in a long series"

@@ -7,10 +7,15 @@ catalogue):
 * :class:`Tracer` / :data:`NOOP` — nestable wall-time spans with a
   zero-cost disabled default;
 * :class:`MetricsRegistry` / :func:`registry` — process-wide counters,
-  gauges and histograms (cache hits, dropped candidates, executor
-  chunk timings, …);
+  gauges and quantile-capable histograms (cache hits, dropped
+  candidates, executor chunk timings, …), with snapshot/delta diffing
+  and :func:`scoped_registry` isolation;
 * :func:`format_tree` / :func:`write_jsonl` — human tree and
-  JSON-lines emitters.
+  JSON-lines emitters;
+* :func:`to_prometheus` / :func:`to_json` — live export formats (the
+  serve admin endpoint's ``/metrics`` and ``/metrics.json``);
+* :func:`configure_logging` / :class:`JsonLogFormatter` — structured
+  JSON log lines with request-ID correlation.
 
 Typical use::
 
@@ -23,23 +28,45 @@ Typical use::
     write_jsonl("metrics.jsonl", tracer=tracer, metrics=registry())
 """
 
-from .emitters import format_tree, span_records, write_jsonl
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, registry
+from .emitters import format_tree, span_records, span_subtree, write_jsonl
+from .export import (
+    PROMETHEUS_CONTENT_TYPE,
+    snapshot_from_jsonl,
+    to_json,
+    to_prometheus,
+)
+from .logging import JsonLogFormatter, configure_logging
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    scoped_registry,
+)
 from .tracer import NOOP, NullTracer, Span, Tracer
 
 __all__ = [
     "NOOP",
+    "PROMETHEUS_CONTENT_TYPE",
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonLogFormatter",
     "MetricsRegistry",
     "NullTracer",
     "Span",
     "Tracer",
+    "configure_logging",
     "format_tree",
     "registry",
     "resolve_tracer",
+    "scoped_registry",
+    "snapshot_from_jsonl",
     "span_records",
+    "span_subtree",
+    "to_json",
+    "to_prometheus",
     "write_jsonl",
 ]
 

@@ -20,7 +20,7 @@ from typing import Iterable, Sequence
 from .metrics import MetricsRegistry
 from .tracer import Span, Tracer
 
-__all__ = ["format_tree", "span_records", "write_jsonl"]
+__all__ = ["format_tree", "span_records", "span_subtree", "write_jsonl"]
 
 
 class _Aggregate:
@@ -84,20 +84,32 @@ def format_tree(tracer: Tracer) -> str:
 def span_records(tracer: Tracer) -> Iterable[dict]:
     """Flat pre-order span records (``depth``/``parent`` keep the tree)."""
     for root in tracer.roots:
-        for span, depth in root.walk():
-            record = {
-                "type": "span",
-                "name": span.name,
-                "start": span.start,
-                "duration": span.duration,
-                "depth": depth,
-                "parent": span.parent.name if span.parent is not None else None,
-            }
-            if span.counters:
-                record["counters"] = dict(span.counters)
-            if span.meta:
-                record["meta"] = {k: _jsonable(v) for k, v in span.meta.items()}
-            yield record
+        yield from span_subtree(root)
+
+
+def span_subtree(root: Span) -> list[dict]:
+    """Pre-order records for one span and its descendants.
+
+    Same shape as :func:`span_records` but rooted at a single span —
+    the serve flight recorder uses this to attach a request's
+    ``serve.batch`` subtree to its flight entry.
+    """
+    records = []
+    for span, depth in root.walk():
+        record = {
+            "type": "span",
+            "name": span.name,
+            "start": span.start,
+            "duration": span.duration,
+            "depth": depth,
+            "parent": span.parent.name if span.parent is not None else None,
+        }
+        if span.counters:
+            record["counters"] = dict(span.counters)
+        if span.meta:
+            record["meta"] = {k: _jsonable(v) for k, v in span.meta.items()}
+        records.append(record)
+    return records
 
 
 def _jsonable(value):
@@ -115,16 +127,22 @@ def write_jsonl(
     metrics: MetricsRegistry | None = None,
     meta: dict | None = None,
 ) -> Path:
-    """Write spans and metric instruments to ``path`` as JSON lines."""
+    """Write spans and metric instruments to ``path`` as JSON lines.
+
+    The first line is always a ``meta`` record carrying the span and
+    instrument counts (plus any caller ``meta``), so even a run that
+    recorded nothing — disabled tracer, empty registry — produces a
+    valid, self-describing document instead of an empty file.
+    """
     path = Path(path)
-    records: list[dict] = []
-    if meta:
-        records.append({"type": "meta", **meta})
+    spans: list[dict] = []
     if tracer is not None and tracer.enabled:
-        records.extend(span_records(tracer))
-    if metrics is not None:
-        records.extend(metrics.records())
+        spans = list(span_records(tracer))
+    instruments = metrics.records() if metrics is not None else []
+    header = {"type": "meta", "spans": len(spans), "instruments": len(instruments)}
+    if meta:
+        header.update(meta)
     with path.open("w", encoding="utf-8") as handle:
-        for record in records:
+        for record in [header, *spans, *instruments]:
             handle.write(json.dumps(record) + "\n")
     return path

@@ -1,0 +1,85 @@
+"""Structured (JSON-lines) logging adapter for the serving stack.
+
+Operational events — service start/stop, slow requests, timeouts,
+model errors — go through stdlib :mod:`logging` so embedders keep full
+control, but a log aggregator wants one JSON object per line with the
+request ID as a first-class field, not free text. Two pieces:
+
+* :class:`JsonLogFormatter` — formats every record as one JSON object
+  (``ts``/``level``/``logger``/``message``) and lifts anything passed
+  via ``extra=`` (``request_id``, ``batch_id``, ``latency_ms``, …) to
+  top-level keys, which is how request correlation reaches the logs;
+* :func:`configure_logging` — installs a stream handler with either
+  the JSON or a conventional text formatter on the ``repro`` logger
+  (idempotent: reconfiguring replaces the handler it installed, never
+  the embedder's).
+
+``rpm serve --log-format json`` is the CLI surface for this.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from datetime import datetime, timezone
+
+__all__ = ["JsonLogFormatter", "configure_logging"]
+
+#: Attributes every LogRecord carries; anything else came in via
+#: ``extra=`` and is surfaced as a top-level JSON key.
+_STANDARD_ATTRS = frozenset(
+    vars(logging.LogRecord("", 0, "", 0, "", (), None))
+) | {"message", "asctime", "taskName"}
+
+TEXT_FORMAT = "%(asctime)s %(levelname)s %(name)s %(message)s"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per log record, ``extra=`` fields included."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": datetime.fromtimestamp(record.created, tz=timezone.utc).isoformat(),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _STANDARD_ATTRS or key.startswith("_"):
+                continue
+            payload[key] = value
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=repr)
+
+
+def configure_logging(
+    log_format: str = "json",
+    *,
+    level: int = logging.INFO,
+    stream=None,
+    logger: str = "repro",
+) -> logging.Logger:
+    """Install a ``repro`` stream handler with the chosen formatter.
+
+    ``log_format`` is ``"json"`` (one object per line) or ``"text"``
+    (conventional ``asctime level name message``). The handler writes to
+    ``stream`` (default ``sys.stderr``) and is tagged so a second call
+    reconfigures rather than stacking duplicates. Returns the logger.
+    """
+    if log_format not in ("json", "text"):
+        raise ValueError(f"log_format must be 'json' or 'text', got {log_format!r}")
+    log = logging.getLogger(logger)
+    for handler in list(log.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            log.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_obs_handler = True
+    if log_format == "json":
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(TEXT_FORMAT))
+    log.addHandler(handler)
+    log.setLevel(level)
+    return log

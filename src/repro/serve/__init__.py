@@ -11,7 +11,12 @@ path for that claim:
 * :class:`PredictionService` — micro-batching (``max_batch`` /
   ``max_delay_ms``), per-request deadlines with typed timeout results,
   strict input validation and warm-up, all instrumented through
-  :mod:`repro.obs`.
+  :mod:`repro.obs`;
+* :class:`AdminServer` — embedded HTTP ops surface (``/healthz``,
+  ``/readyz``, Prometheus ``/metrics``, ``/debug/requests``) over a
+  running service (``PredictionService(admin_port=…)`` or standalone);
+* :class:`FlightRecorder` — bounded ring of recent slow/error/timeout
+  requests, correlated by the ``req-N`` ID every result carries.
 
 Typical use::
 
@@ -25,12 +30,17 @@ Typical use::
 See ``docs/serving.md`` for the full lifecycle and knob catalogue.
 """
 
+from .admin import AdminServer
 from .compiled import CompiledModel
+from .flight import FlightRecord, FlightRecorder
 from .service import PredictionService
 from .types import PredictionRequest, PredictionResult, ResultStatus, validate_series
 
 __all__ = [
+    "AdminServer",
     "CompiledModel",
+    "FlightRecord",
+    "FlightRecorder",
     "PredictionService",
     "PredictionRequest",
     "PredictionResult",

@@ -1,0 +1,129 @@
+"""Flight recorder: a bounded ring of recent anomalous requests.
+
+Counters and quantiles answer *"how is the service doing?"*; the flight
+recorder answers *"what happened to this request?"*. It keeps the last
+``capacity`` slow, timed-out, invalid or errored requests — each with
+its request ID, batch ID, queue wait, deadline slack and the
+``serve.batch`` span subtree it rode in — in a thread-safe
+:class:`collections.deque` ring, so a long-running service retains
+recent evidence at fixed memory cost while the steady stream of healthy
+requests passes through unrecorded.
+
+``GET /debug/requests`` on the admin endpoint serves this buffer;
+``?id=req-N`` looks one entry up by the request ID that came back in
+the :class:`~repro.serve.types.PredictionResult`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["FlightRecord", "FlightRecorder"]
+
+
+@dataclass
+class FlightRecord:
+    """One captured request: correlation IDs, timings and its spans."""
+
+    request_id: str
+    status: str
+    reason: str
+    batch_id: int | None = None
+    queue_wait_ms: float = 0.0
+    latency_ms: float = 0.0
+    #: Milliseconds of deadline left at completion (negative = missed);
+    #: ``None`` when the request carried no deadline.
+    deadline_slack_ms: float | None = None
+    error_code: str | None = None
+    error_message: str | None = None
+    #: Wall-clock capture time (``time.time()``), for operators.
+    recorded_at: float = field(default_factory=time.time)
+    #: The ``serve.batch`` span subtree, as emitter records.
+    spans: list = field(default_factory=list)
+
+    def as_record(self) -> dict:
+        record = {
+            "request_id": self.request_id,
+            "status": self.status,
+            "reason": self.reason,
+            "batch_id": self.batch_id,
+            "queue_wait_ms": round(self.queue_wait_ms, 3),
+            "latency_ms": round(self.latency_ms, 3),
+            "deadline_slack_ms": (
+                None
+                if self.deadline_slack_ms is None
+                else round(self.deadline_slack_ms, 3)
+            ),
+            "recorded_at": self.recorded_at,
+        }
+        if self.error_code:
+            record["error_code"] = self.error_code
+        if self.error_message:
+            record["error_message"] = self.error_message
+        if self.spans:
+            record["spans"] = self.spans
+        return record
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring buffer of :class:`FlightRecord` entries.
+
+    ``capacity`` bounds memory: when full, recording the next entry
+    evicts the oldest (FIFO). ``capacity=0`` disables recording
+    entirely — :meth:`record` becomes a no-op, which is how a service
+    opts out of the (small) per-batch capture cost.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: deque[FlightRecord] = deque(maxlen=self.capacity or None)
+        self._lock = threading.Lock()
+        self._recorded = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def record(self, entry: FlightRecord) -> None:
+        """Append one entry, evicting the oldest when full."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._entries.append(entry)
+            self._recorded += 1
+
+    def records(self, *, limit: int | None = None) -> list[dict]:
+        """Entries as plain dicts, newest first."""
+        with self._lock:
+            entries = list(self._entries)
+        entries.reverse()
+        if limit is not None:
+            entries = entries[: max(0, limit)]
+        return [entry.as_record() for entry in entries]
+
+    def find(self, request_id: str) -> FlightRecord | None:
+        """The retained entry for ``request_id``, or ``None``."""
+        with self._lock:
+            for entry in reversed(self._entries):
+                if entry.request_id == request_id:
+                    return entry
+        return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def total_recorded(self) -> int:
+        """Entries ever recorded, including those since evicted."""
+        with self._lock:
+            return self._recorded
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -24,16 +24,24 @@ row-independent and bitwise reproducible (pinned by the parity and
 serve test suites), so predictions do not depend on which batch a
 request landed in.
 
-Observability: every batch is a ``serve.batch`` span; the metrics
-registry carries ``serve.requests`` / ``serve.batches`` /
-``serve.invalid`` / ``serve.deadline_misses`` / ``serve.errors``
-counters, the ``serve.batch_size`` and ``serve.queue_wait_seconds``
-histograms and the ``serve.queue_depth`` gauge (see
-``docs/observability.md``).
+Observability: every batch is a ``serve.batch`` span carrying its
+``batch_id`` and the member request IDs; the metrics registry carries
+``serve.requests`` / ``serve.batches`` / ``serve.invalid`` /
+``serve.deadline_misses`` / ``serve.errors`` counters, the
+``serve.batch_size`` / ``serve.queue_wait_seconds`` /
+``serve.latency_seconds`` histograms and the ``serve.queue_depth``
+gauge (see ``docs/observability.md``). Every request gets a ``req-N``
+correlation ID returned in its result; slow, timed-out, invalid and
+errored requests additionally land in a bounded
+:class:`~repro.serve.flight.FlightRecorder` (with their ``serve.batch``
+span subtree) and in structured log lines, and the whole surface is
+queryable live through the embedded
+:class:`~repro.serve.admin.AdminServer` (``admin_port=``).
 """
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
@@ -42,13 +50,19 @@ from concurrent.futures import Future
 import numpy as np
 
 from ..obs import resolve_tracer
+from ..obs.emitters import span_subtree
 from ..obs.metrics import MetricsRegistry, registry
+from ..obs.tracer import Tracer
+from .admin import AdminServer
 from .compiled import CompiledModel
+from .flight import FlightRecord, FlightRecorder
 from .types import PredictionRequest, PredictionResult, ResultStatus, validate_series
 
 __all__ = ["PredictionService"]
 
 _STOP = object()
+
+_log = logging.getLogger("repro.serve")
 
 
 class PredictionService:
@@ -70,7 +84,20 @@ class PredictionService:
         Strict input validation at submit time (length/NaN/dtype).
         Leave on unless the caller guarantees clean input.
     warmup:
-        Run :meth:`CompiledModel.warmup` on :meth:`start`.
+        Run :meth:`CompiledModel.warmup` on :meth:`start`. Readiness
+        (:attr:`ready`, the admin ``/readyz``) flips true only once the
+        warm-up batch has completed (immediately when disabled).
+    slow_ms:
+        OK requests at or above this latency are captured by the flight
+        recorder and logged as slow. ``0`` disables slow capture
+        (anomalous statuses are always captured).
+    flight_capacity:
+        Flight-recorder ring size; ``0`` disables request capture
+        entirely.
+    admin_port / admin_host:
+        When ``admin_port`` is not ``None``, :meth:`start` also brings
+        up the embedded :class:`~repro.serve.admin.AdminServer` there
+        (``0`` = ephemeral port; read it back from ``service.admin``).
     trace / metrics:
         Observability wiring; defaults to the no-op tracer and the
         process-wide registry.
@@ -85,6 +112,10 @@ class PredictionService:
         default_deadline_ms: float | None = None,
         validate: bool = True,
         warmup: bool = True,
+        slow_ms: float = 250.0,
+        flight_capacity: int = 128,
+        admin_port: int | None = None,
+        admin_host: str = "127.0.0.1",
         trace=None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
@@ -92,21 +123,40 @@ class PredictionService:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_delay_ms < 0:
             raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        if slow_ms < 0:
+            raise ValueError(f"slow_ms must be >= 0, got {slow_ms}")
         self.model = model
         self.max_batch = int(max_batch)
         self.max_delay_s = float(max_delay_ms) / 1000.0
         self.default_deadline_ms = default_deadline_ms
         self.validate = bool(validate)
         self._warmup = bool(warmup)
+        self.slow_ms = float(slow_ms)
+        self.flight = FlightRecorder(flight_capacity)
+        self.admin: AdminServer | None = None
+        self._admin_port = admin_port
+        self._admin_host = admin_host
         self.tracer = resolve_tracer(trace)
         self.metrics = metrics if metrics is not None else registry()
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._thread: threading.Thread | None = None
         self._running = False
+        self._ready = False
         self._next_id = 0
         self._id_lock = threading.Lock()
+        self._batches_done = 0
 
     # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Liveness: the batching worker is accepting requests."""
+        return self._running
+
+    @property
+    def ready(self) -> bool:
+        """Readiness: running *and* the model warm-up has completed."""
+        return self._running and self._ready
 
     def start(self) -> "PredictionService":
         """Warm the model up and launch the batching worker."""
@@ -114,11 +164,24 @@ class PredictionService:
             return self
         if self._warmup:
             self.model.warmup(n=min(4, self.max_batch))
+        self._ready = True
         self._running = True
         self._thread = threading.Thread(
             target=self._worker, name="rpm-serve-batcher", daemon=True
         )
         self._thread.start()
+        if self._admin_port is not None and self.admin is None:
+            self.admin = AdminServer(
+                self, host=self._admin_host, port=self._admin_port
+            ).start()
+        _log.info(
+            "prediction service started",
+            extra={
+                "model": self.model.describe(),
+                "max_batch": self.max_batch,
+                "admin_url": self.admin.url() if self.admin else None,
+            },
+        )
         return self
 
     def stop(self) -> None:
@@ -126,10 +189,21 @@ class PredictionService:
         if not self._running:
             return
         self._running = False
+        self._ready = False
         self._queue.put(_STOP)
         if self._thread is not None:
             self._thread.join()
             self._thread = None
+        if self.admin is not None:
+            self.admin.stop()
+            self.admin = None
+        _log.info(
+            "prediction service stopped",
+            extra={
+                "requests": self.metrics.counter_value("serve.requests"),
+                "batches": self.metrics.counter_value("serve.batches"),
+            },
+        )
 
     def __enter__(self) -> "PredictionService":
         return self.start()
@@ -139,16 +213,18 @@ class PredictionService:
 
     # -- submission ------------------------------------------------------------
 
-    def _new_id(self) -> int:
+    def _new_id(self) -> str:
         with self._id_lock:
             self._next_id += 1
-            return self._next_id
+            return f"req-{self._next_id}"
 
     def submit(self, series, *, deadline_ms: float | None = None) -> Future:
         """Enqueue one series; returns a future of a PredictionResult.
 
         Invalid input resolves the future immediately with an
         ``INVALID`` result — nothing malformed ever reaches the model.
+        The result's ``request_id`` is the correlation token for spans,
+        logs and the flight recorder.
         """
         if not self._running:
             raise RuntimeError(
@@ -164,6 +240,19 @@ class PredictionService:
             values, code, message = np.asarray(series, dtype=float), None, None
         if code is not None:
             self.metrics.inc("serve.invalid")
+            self.flight.record(
+                FlightRecord(
+                    request_id=request_id,
+                    status=ResultStatus.INVALID.value,
+                    reason="invalid",
+                    error_code=code,
+                    error_message=message,
+                )
+            )
+            _log.warning(
+                "request rejected at validation",
+                extra={"request_id": request_id, "error_code": code},
+            )
             future.set_result(
                 PredictionResult(
                     request_id=request_id,
@@ -259,10 +348,24 @@ class PredictionService:
 
     def _process(self, batch: list) -> None:
         now = time.monotonic()
+        self._batches_done += 1
+        batch_id = self._batches_done
         self.metrics.inc("serve.batches")
         self.metrics.observe("serve.batch_size", len(batch))
         self.metrics.add_gauge("serve.queue_depth", -len(batch))
-        with self.tracer.span("serve.batch") as span:
+        # The serve.batch span goes to the configured tracer; with
+        # tracing off but the flight recorder on, a throwaway local
+        # Tracer records it instead, so captured entries always carry
+        # their span subtree without accumulating unbounded span state
+        # in a long-running service.
+        capture = self.flight.enabled
+        tracer = self.tracer if self.tracer.enabled else (Tracer() if capture else self.tracer)
+        outcomes: list[tuple[PredictionRequest, PredictionResult]] = []
+        with tracer.span("serve.batch") as span:
+            span.annotate(
+                batch_id=batch_id,
+                request_ids=[request.request_id for request, _ in batch],
+            )
             span.add("batch.size", len(batch))
             live: list[tuple[PredictionRequest, Future]] = []
             for request, future in batch:
@@ -272,48 +375,108 @@ class PredictionService:
                 if request.deadline is not None and now > request.deadline:
                     self.metrics.inc("serve.deadline_misses")
                     span.add("batch.deadline_misses")
-                    future.set_result(
-                        PredictionResult(
-                            request_id=request.request_id,
-                            status=ResultStatus.TIMEOUT,
-                            deadline_missed=True,
-                            latency_ms=(now - request.enqueued_at) * 1000.0,
-                        )
+                    result = PredictionResult(
+                        request_id=request.request_id,
+                        status=ResultStatus.TIMEOUT,
+                        deadline_missed=True,
+                        latency_ms=(now - request.enqueued_at) * 1000.0,
+                        batch_id=batch_id,
                     )
+                    self._finish(request, future, result, outcomes)
                 else:
                     live.append((request, future))
-            if not live:
-                return
-            X = np.stack([request.series for request, _ in live])
-            try:
-                features = self.model.transform(X)
-                labels = self.model.classifier.predict(features)
-            except Exception as exc:  # typed results, never a dead worker
-                self.metrics.inc("serve.errors", len(live))
-                span.annotate(error=type(exc).__name__)
-                for request, future in live:
-                    future.set_result(
-                        PredictionResult(
+            if live:
+                X = np.stack([request.series for request, _ in live])
+                try:
+                    features = self.model.transform(X)
+                    labels = self.model.classifier.predict(features)
+                except Exception as exc:  # typed results, never a dead worker
+                    self.metrics.inc("serve.errors", len(live))
+                    span.annotate(error=type(exc).__name__)
+                    for request, future in live:
+                        result = PredictionResult(
                             request_id=request.request_id,
                             status=ResultStatus.ERROR,
                             error_code="model-failure",
                             error_message=f"{type(exc).__name__}: {exc}",
+                            latency_ms=(time.monotonic() - request.enqueued_at)
+                            * 1000.0,
+                            batch_id=batch_id,
                         )
-                    )
-                return
-            done = time.monotonic()
-            for i, (request, future) in enumerate(live):
-                late = request.deadline is not None and done > request.deadline
-                if late:
-                    self.metrics.inc("serve.deadline_misses")
-                    span.add("batch.deadline_misses")
-                future.set_result(
-                    PredictionResult(
-                        request_id=request.request_id,
-                        status=ResultStatus.OK,
-                        label=labels[i],
-                        deadline_missed=late,
-                        latency_ms=(done - request.enqueued_at) * 1000.0,
-                        features=features[i],
-                    )
+                        self._finish(request, future, result, outcomes)
+                else:
+                    done = time.monotonic()
+                    for i, (request, future) in enumerate(live):
+                        late = request.deadline is not None and done > request.deadline
+                        if late:
+                            self.metrics.inc("serve.deadline_misses")
+                            span.add("batch.deadline_misses")
+                        result = PredictionResult(
+                            request_id=request.request_id,
+                            status=ResultStatus.OK,
+                            label=labels[i],
+                            deadline_missed=late,
+                            latency_ms=(done - request.enqueued_at) * 1000.0,
+                            batch_id=batch_id,
+                            features=features[i],
+                        )
+                        self._finish(request, future, result, outcomes)
+        if capture and outcomes:
+            self._record_flight(span, now, outcomes)
+
+    def _finish(self, request, future, result, outcomes) -> None:
+        """Resolve one future and keep the outcome for flight capture."""
+        self.metrics.observe("serve.latency_seconds", result.latency_ms / 1000.0)
+        future.set_result(result)
+        outcomes.append((request, result))
+
+    def _record_flight(self, span, picked_up_at: float, outcomes) -> None:
+        """Capture and log the batch's anomalous requests.
+
+        Runs *after* every future in the batch has resolved, so
+        recording and logging never sit on the request latency path.
+        """
+        spans = span_subtree(span)
+        for request, result in outcomes:
+            if result.status is ResultStatus.OK and not result.deadline_missed:
+                if not self.slow_ms or result.latency_ms < self.slow_ms:
+                    continue
+                reason = "slow"
+            elif result.status is ResultStatus.TIMEOUT:
+                reason = "timeout"
+            elif result.status is ResultStatus.ERROR:
+                reason = "error"
+            else:
+                reason = "late"
+            slack_ms = None
+            if request.deadline is not None:
+                finished = request.enqueued_at + result.latency_ms / 1000.0
+                slack_ms = (request.deadline - finished) * 1000.0
+            self.flight.record(
+                FlightRecord(
+                    request_id=result.request_id,
+                    status=result.status.value,
+                    reason=reason,
+                    batch_id=result.batch_id,
+                    queue_wait_ms=(picked_up_at - request.enqueued_at) * 1000.0,
+                    latency_ms=result.latency_ms,
+                    deadline_slack_ms=slack_ms,
+                    error_code=result.error_code,
+                    error_message=result.error_message,
+                    spans=spans,
                 )
+            )
+            _log.log(
+                logging.ERROR if reason == "error" else logging.WARNING,
+                "request %s",
+                reason,
+                extra={
+                    "request_id": result.request_id,
+                    "batch_id": result.batch_id,
+                    "status": result.status.value,
+                    "latency_ms": round(result.latency_ms, 3),
+                    "deadline_slack_ms": None
+                    if slack_ms is None
+                    else round(slack_ms, 3),
+                },
+            )

@@ -40,12 +40,15 @@ class ResultStatus(str, enum.Enum):
 class PredictionRequest:
     """One enqueued series plus its bookkeeping.
 
-    ``deadline`` is an absolute ``time.monotonic()`` instant (``None``
-    = no deadline); ``enqueued_at`` feeds the queue-wait histogram.
+    ``request_id`` is the correlation token (``"req-N"``) stamped onto
+    spans, flight-recorder entries and structured log lines, and
+    returned in the result. ``deadline`` is an absolute
+    ``time.monotonic()`` instant (``None`` = no deadline);
+    ``enqueued_at`` feeds the queue-wait and latency histograms.
     """
 
     series: np.ndarray
-    request_id: int
+    request_id: str
     deadline: float | None = None
     enqueued_at: float = 0.0
 
@@ -57,16 +60,22 @@ class PredictionResult:
     ``label`` is only meaningful when ``status`` is ``OK``;
     ``error_code`` / ``error_message`` are only set for ``INVALID`` and
     ``ERROR`` results. ``deadline_missed`` marks OK results that were
-    delivered after their deadline (computed, but late).
+    delivered after their deadline (computed, but late). ``request_id``
+    is the caller's correlation token — quote it to
+    ``GET /debug/requests?id=…`` on the admin endpoint to retrieve the
+    flight-recorder entry of a slow or failed request. ``batch_id``
+    names the micro-batch that carried the request (``None`` for
+    requests rejected before batching).
     """
 
-    request_id: int
+    request_id: str
     status: ResultStatus
     label: object = None
     error_code: str | None = None
     error_message: str | None = None
     deadline_missed: bool = False
     latency_ms: float = 0.0
+    batch_id: int | None = None
     features: np.ndarray | None = field(default=None, repr=False)
 
     @property

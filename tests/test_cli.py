@@ -50,6 +50,44 @@ class TestFlagValidation:
         args = build_parser().parse_args(["train", "CBF", "--jobs", value])
         assert args.jobs == expected
 
+    def test_serve_admin_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "m.npz", "--http-port", "0",
+             "--log-format", "json", "--flight-size", "16", "--slow-ms", "10"]
+        )
+        assert args.http_port == 0
+        assert args.log_format == "json"
+        assert args.flight_size == 16
+        assert args.slow_ms == 10.0
+
+    def test_serve_admin_defaults_off(self):
+        args = build_parser().parse_args(["serve", "--model", "m.npz"])
+        assert args.http_port is None
+        assert args.log_format == "text"
+        assert args.flight_size == 128
+
+    def test_http_port_rejects_negative(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(
+                ["serve", "--model", "m.npz", "--http-port", "-1"]
+            )
+        assert exc.value.code == 2
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_log_format_choices(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--model", "m.npz", "--log-format", "xml"]
+            )
+
+    def test_metrics_requires_exactly_one_source(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["metrics", "--url", "http://x", "--jsonl", "m.jsonl"]
+            )
+
 
 class TestCommands:
     def test_datasets_lists_registry(self, capsys):
@@ -147,6 +185,32 @@ class TestCommands:
                    "--alphabet", "4"])
         assert rc == 0
         assert "-- trace --" not in capsys.readouterr().out
+
+    def test_metrics_from_jsonl_renders_prometheus(self, tmp_path, capsys):
+        from repro.obs import MetricsRegistry, write_jsonl
+
+        reg = MetricsRegistry()
+        reg.inc("serve.requests", 12)
+        reg.observe("serve.latency_seconds", 0.02)
+        path = write_jsonl(tmp_path / "metrics.jsonl", metrics=reg)
+
+        assert main(["metrics", "--jsonl", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve_requests_total 12" in out
+        assert 'serve_latency_seconds{quantile="0.5"}' in out
+
+        assert main(["metrics", "--jsonl", str(path), "--format", "json"]) == 0
+        import json
+
+        document = json.loads(capsys.readouterr().out)
+        assert document["counters"]["serve.requests"] == 12
+
+    def test_metrics_from_unreachable_url_is_an_error(self, capsys):
+        rc = main(
+            ["metrics", "--url", "http://127.0.0.1:9", "--timeout", "0.2"]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
 
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as exc:

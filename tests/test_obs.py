@@ -30,6 +30,7 @@ from repro.obs import (
     format_tree,
     registry,
     resolve_tracer,
+    scoped_registry,
     span_records,
     write_jsonl,
 )
@@ -202,6 +203,17 @@ class TestMetricsRegistry:
     def test_global_registry_is_shared(self):
         assert registry() is registry()
 
+    def test_scoped_registry_keeps_global_state_clean(self):
+        """Tests that hit the process-global registry scope it instead
+        of mutating shared state other tests might read."""
+        outer = registry()
+        before = outer.counter_value("obs.test_scoped")
+        with scoped_registry():
+            registry().inc("obs.test_scoped", 9)
+            assert registry().counter_value("obs.test_scoped") == 9
+        assert registry() is outer
+        assert outer.counter_value("obs.test_scoped") == before
+
 
 class TestEmitters:
     def _traced(self) -> Tracer:
@@ -246,9 +258,22 @@ class TestEmitters:
         counters = {l["name"]: l["value"] for l in lines if l["type"] == "counter"}
         assert counters["cache.hits"] == 7
 
-    def test_write_jsonl_skips_disabled_tracer(self, tmp_path):
+    def test_write_jsonl_empty_inputs_produce_valid_document(self, tmp_path):
+        """No tracer + empty registry still yields a self-describing file."""
         path = write_jsonl(tmp_path / "m.jsonl", tracer=None, metrics=MetricsRegistry())
-        assert path.read_text() == ""
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records == [{"type": "meta", "spans": 0, "instruments": 0}]
+
+    def test_write_jsonl_header_counts_and_meta(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        path = write_jsonl(
+            tmp_path / "m.jsonl", tracer=self._traced(), metrics=reg, meta={"run": "x"}
+        )
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["type"] == "meta"
+        assert header["spans"] == 4 and header["instruments"] == 1
+        assert header["run"] == "x"
 
 
 class TestPipelineTracing:

@@ -1,0 +1,278 @@
+"""Exporters, histogram quantiles, snapshot/delta and scoped registry.
+
+Contracts under test:
+
+1. histogram quantiles are accurate within log-bucket resolution and
+   exact for degenerate (single-value) histograms;
+2. `snapshot()` + `delta()` measure an interval, independent of what
+   accumulated before it;
+3. the Prometheus exposition is line-format valid, names
+   `serve.requests` as `serve_requests_total`, and renders histograms
+   as summaries with quantile samples;
+4. empty registries still export valid documents;
+5. `scoped_registry` isolates process-global metric state;
+6. the JSON logging adapter lifts `extra=` fields (request IDs) to
+   top-level keys.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    JsonLogFormatter,
+    MetricsRegistry,
+    configure_logging,
+    registry,
+    scoped_registry,
+    snapshot_from_jsonl,
+    to_json,
+    to_prometheus,
+    write_jsonl,
+)
+from repro.obs.export import _metric_name
+
+# One sample per line: name, optional {labels}, then a number.
+PROMETHEUS_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+=\"[^\"]*\"(,[a-zA-Z0-9_]+=\"[^\"]*\")*\})?"
+    r" [-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|[0-9]+)$"
+)
+
+
+class TestHistogramQuantiles:
+    def test_single_value_is_exact(self):
+        reg = MetricsRegistry()
+        for _ in range(10):
+            reg.observe("h", 8.0)
+        hist = reg.histogram("h")
+        for q in (0.5, 0.95, 0.99):
+            assert hist.quantile(q) == pytest.approx(8.0)
+
+    def test_quantiles_track_numpy_within_bucket_resolution(self):
+        rng = np.random.default_rng(3)
+        values = rng.lognormal(mean=-3.0, sigma=1.2, size=5000)
+        reg = MetricsRegistry()
+        for v in values:
+            reg.observe("lat", float(v))
+        hist = reg.histogram("lat")
+        for q in (0.5, 0.95, 0.99):
+            exact = float(np.quantile(values, q))
+            estimate = hist.quantile(q)
+            # Log buckets are 1-2-5 per decade: estimates stay within
+            # one bucket (a factor of 2.5) of the exact quantile.
+            assert exact / 2.5 <= estimate <= exact * 2.5
+
+    def test_quantiles_are_monotonic_and_clamped(self):
+        reg = MetricsRegistry()
+        for v in (0.001, 0.01, 0.1, 1.0, 10.0):
+            reg.observe("h", v)
+        hist = reg.histogram("h")
+        p50, p95, p99 = (hist.quantile(q) for q in (0.5, 0.95, 0.99))
+        assert 0.001 <= p50 <= p95 <= p99 <= 10.0
+
+    def test_rejects_out_of_range_q(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0)
+        with pytest.raises(ValueError, match="quantile"):
+            reg.histogram("h").quantile(1.5)
+
+    def test_empty_histogram_record_is_zeroed(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0)
+        record = reg.histogram("h").as_record()
+        assert {"p50", "p95", "p99"} <= set(record)
+
+
+class TestSnapshotDelta:
+    def test_counters_diff_against_baseline(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 10)
+        baseline = reg.snapshot()
+        reg.inc("c", 3)
+        reg.inc("new", 2)
+        delta = reg.delta(baseline)
+        assert delta["counters"] == {"c": 3, "new": 2}
+
+    def test_histogram_delta_measures_the_interval(self):
+        reg = MetricsRegistry()
+        for _ in range(100):
+            reg.observe("lat", 0.001)  # old regime: fast
+        baseline = reg.snapshot()
+        for _ in range(50):
+            reg.observe("lat", 1.0)  # new regime: slow
+        delta = reg.delta(baseline)["histograms"]["lat"]
+        assert delta["count"] == 50
+        assert delta["total"] == pytest.approx(50.0)
+        assert delta["mean"] == pytest.approx(1.0)
+        # The interval p50 reflects only the slow regime, not the 100
+        # fast observations before the baseline.
+        assert delta["p50"] == pytest.approx(1.0, rel=0.5)
+
+    def test_gauges_pass_through_as_point_in_time(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 5.0)
+        baseline = reg.snapshot()
+        reg.set_gauge("depth", 2.0)
+        assert reg.delta(baseline)["gauges"]["depth"] == 2.0
+
+    def test_delta_against_empty_baseline_equals_snapshot(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 4)
+        reg.observe("h", 0.5)
+        delta = reg.delta({})
+        snap = reg.snapshot()
+        assert delta["counters"] == snap["counters"]
+        assert delta["histograms"]["h"]["count"] == snap["histograms"]["h"]["count"]
+
+
+class TestPrometheusExport:
+    def _populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.inc("serve.requests", 42)
+        reg.set_gauge("serve.queue_depth", 3)
+        for v in (0.01, 0.02, 0.05):
+            reg.observe("serve.latency_seconds", v)
+        return reg
+
+    def test_every_sample_line_is_format_valid(self):
+        text = to_prometheus(self._populated())
+        lines = [l for l in text.splitlines() if l and not l.startswith("#")]
+        assert lines, "no sample lines emitted"
+        for line in lines:
+            assert PROMETHEUS_SAMPLE.match(line), f"bad exposition line: {line!r}"
+
+    def test_counter_names_gain_total_suffix(self):
+        text = to_prometheus(self._populated())
+        assert "serve_requests_total 42" in text
+        assert "# TYPE serve_requests_total counter" in text
+
+    def test_histograms_render_as_summaries_with_quantiles(self):
+        text = to_prometheus(self._populated())
+        assert "# TYPE serve_latency_seconds summary" in text
+        assert 'serve_latency_seconds{quantile="0.5"}' in text
+        assert 'serve_latency_seconds{quantile="0.99"}' in text
+        assert "serve_latency_seconds_count 3" in text
+
+    def test_accepts_snapshot_and_delta_dicts(self):
+        reg = self._populated()
+        baseline = reg.snapshot()
+        reg.inc("serve.requests", 8)
+        assert "serve_requests_total 50" in to_prometheus(reg.snapshot())
+        assert "serve_requests_total 8" in to_prometheus(reg.delta(baseline))
+
+    def test_empty_registry_is_a_valid_document(self):
+        text = to_prometheus(MetricsRegistry())
+        assert text.endswith("\n")
+        assert all(l.startswith("#") for l in text.splitlines() if l)
+
+    def test_rejects_garbage_source(self):
+        with pytest.raises(TypeError, match="MetricsRegistry"):
+            to_prometheus(["not", "a", "registry"])
+
+    def test_metric_name_sanitization(self):
+        assert _metric_name("serve.queue_wait_seconds") == "serve_queue_wait_seconds"
+        assert _metric_name("0weird name!") == "_0weird_name_"
+
+
+class TestJsonExport:
+    def test_document_shape_and_quantiles(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.observe("h", 0.25)
+        document = json.loads(to_json(reg, meta={"run": "x"}))
+        assert document["counters"]["c"] == 2
+        assert document["meta"]["run"] == "x"
+        hist = document["histograms"]["h"]
+        assert hist["count"] == 1 and "p99" in hist
+        assert "buckets" not in hist  # diffing detail, not part of the view
+
+    def test_empty_registry_is_valid_json(self):
+        document = json.loads(to_json(MetricsRegistry()))
+        assert document == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestJsonlRoundTrip:
+    def test_dump_renders_like_a_live_scrape(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.inc("serve.requests", 7)
+        reg.observe("serve.latency_seconds", 0.1)
+        path = write_jsonl(tmp_path / "m.jsonl", metrics=reg)
+        snap = snapshot_from_jsonl(path)
+        text = to_prometheus(snap)
+        assert "serve_requests_total 7" in text
+        assert 'serve_latency_seconds{quantile="0.5"}' in text
+
+    def test_empty_dump_yields_empty_snapshot(self, tmp_path):
+        path = write_jsonl(tmp_path / "m.jsonl")
+        assert snapshot_from_jsonl(path) == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestScopedRegistry:
+    def test_scope_isolates_and_restores(self):
+        outer = registry()
+        outer_value = outer.counter_value("scoped.test")
+        with scoped_registry() as reg:
+            assert registry() is reg
+            assert registry() is not outer
+            registry().inc("scoped.test", 5)
+            assert reg.counter_value("scoped.test") == 5
+        assert registry() is outer
+        assert outer.counter_value("scoped.test") == outer_value
+
+    def test_caller_supplied_registry(self):
+        mine = MetricsRegistry()
+        with scoped_registry(mine) as reg:
+            assert reg is mine
+            registry().inc("x")
+        assert mine.counter_value("x") == 1
+
+    def test_restores_on_exception(self):
+        outer = registry()
+        with pytest.raises(RuntimeError):
+            with scoped_registry():
+                raise RuntimeError("boom")
+        assert registry() is outer
+
+
+class TestJsonLogging:
+    def test_extra_fields_become_top_level_keys(self):
+        record = logging.LogRecord(
+            "repro.serve", logging.WARNING, __file__, 1, "request %s", ("slow",), None
+        )
+        record.request_id = "req-9"
+        record.batch_id = 3
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert payload["message"] == "request slow"
+        assert payload["level"] == "warning"
+        assert payload["request_id"] == "req-9"
+        assert payload["batch_id"] == 3
+        assert "ts" in payload
+
+    def test_non_serializable_extras_fall_back_to_repr(self):
+        record = logging.LogRecord(
+            "repro", logging.INFO, __file__, 1, "m", (), None
+        )
+        record.payload = object()
+        parsed = json.loads(JsonLogFormatter().format(record))
+        assert "object object" in parsed["payload"]
+
+    def test_configure_logging_is_idempotent(self):
+        logger = configure_logging("json", logger="repro.test_export")
+        before = len(logger.handlers)
+        configure_logging("text", logger="repro.test_export")
+        assert len(logger.handlers) == before
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+
+    def test_configure_logging_rejects_unknown_format(self):
+        with pytest.raises(ValueError, match="log_format"):
+            configure_logging("xml")

@@ -15,7 +15,7 @@ import pytest
 
 from repro import RPMClassifier, SaxParams
 from repro.core.io import FORMAT_VERSION, ModelFormatError, load_model, save_model
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, registry, scoped_registry
 from repro.serve import (
     CompiledModel,
     PredictionService,
@@ -167,14 +167,19 @@ class TestPredictionService:
             service.submit(tiny_gun.X_test[0])
 
     def test_metrics_emitted(self, compiled, tiny_gun):
-        metrics = MetricsRegistry()
-        with PredictionService(compiled, metrics=metrics, warmup=False) as service:
-            service.predict(tiny_gun.X_test[:5])
-        snap = metrics.snapshot()
+        # Exercise the default-registry path: without an explicit
+        # ``metrics=``, the service lands its counters in the scoped
+        # process-global registry, and nothing leaks out of the scope.
+        with scoped_registry() as metrics:
+            with PredictionService(compiled, warmup=False) as service:
+                service.predict(tiny_gun.X_test[:5])
+            snap = metrics.snapshot()
         assert snap["counters"]["serve.requests"] == 5
         assert snap["counters"]["serve.batches"] >= 1
         assert snap["gauges"]["serve.queue_depth"] == 0
         assert snap["histograms"]["serve.batch_size"]["count"] >= 1
+        assert snap["histograms"]["serve.latency_seconds"]["count"] == 5
+        assert registry() is not metrics
 
     def test_rejects_bad_knobs(self, compiled):
         with pytest.raises(ValueError, match="max_batch"):
