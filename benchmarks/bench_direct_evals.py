@@ -10,11 +10,22 @@ the exhaustive grid size.
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 
 import harness
+from repro.core.candidates import find_candidates
 from repro.core.params import ParamSelector
+from repro.core.selection import find_distinct
+from repro.core.transform import pattern_features
 from repro.data import load
+from repro.runtime import DiscretizationCache, ParallelExecutor
+from repro.sax.discretize import discretize_implementation
+
+SPEEDUP_GATE_MIN_CPUS = 4
+GATE_FACTOR = 2.0
 
 
 def _direct_vs_grid():
@@ -59,3 +70,103 @@ def test_direct_evaluation_count(benchmark):
     for name, length, r, pruned, grid_size in rows:
         assert r < 200
         assert r < grid_size / 5
+
+
+def _mine_and_transform(dataset, *, legacy: bool, executor, discretize_cache):
+    """One full Algorithm 3 run + downstream mining/transform.
+
+    Returns ``(seconds, selected params, transformed test features)``.
+    ``legacy=True`` reproduces the pre-vectorization pipeline: string
+    discretization, no discretization cache, serial DIRECT.
+    """
+
+    def run():
+        selector = ParamSelector(
+            dataset.X_train,
+            dataset.y_train,
+            n_splits=2,
+            cv_folds=3,
+            seed=0,
+            executor=executor,
+            discretize_cache=discretize_cache,
+        )
+        t0 = time.perf_counter()
+        params = selector.select_direct(max_evaluations=40, max_iterations=20)
+        candidates = find_candidates(
+            dataset.X_train,
+            dataset.y_train,
+            params,
+            executor=executor,
+            discretize_cache=discretize_cache,
+        )
+        selection = find_distinct(
+            dataset.X_train, dataset.y_train, candidates, executor=executor
+        )
+        features = pattern_features(
+            dataset.X_test, selection.patterns, executor=executor
+        )
+        return time.perf_counter() - t0, params, features
+
+    if legacy:
+        with discretize_implementation("legacy"):
+            return run()
+    return run()
+
+
+def test_direct_mining_speedup(benchmark):
+    """Pre-PR mining path vs vectorized + cached + parallel DIRECT.
+
+    The equivalence assertions (identical selected ``SaxParams`` per
+    class, bitwise-identical transformed features) are always on; the
+    ≥2× wall-clock gate only arms on hosts with at least
+    ``SPEEDUP_GATE_MIN_CPUS`` CPUs — elsewhere the measured ratio is
+    still reported.
+    """
+    dataset = load("SyntheticControl")  # 6 classes — widest fan-out
+
+    def run_both():
+        old_time, old_params, old_features = _mine_and_transform(
+            dataset, legacy=True, executor=None,
+            discretize_cache=DiscretizationCache(0),
+        )
+        with ParallelExecutor(4, "thread") as executor:
+            new_time, new_params, new_features = _mine_and_transform(
+                dataset, legacy=False, executor=executor,
+                discretize_cache=DiscretizationCache(),
+            )
+        return old_time, old_params, old_features, new_time, new_params, new_features
+
+    old_time, old_params, old_features, new_time, new_params, new_features = (
+        benchmark.pedantic(run_both, rounds=1, iterations=1)
+    )
+
+    # Equivalence first — a fast different answer is a bug, not a win.
+    assert old_params == new_params, "selected SaxParams diverged"
+    np.testing.assert_array_equal(old_features, new_features)
+
+    speedup = old_time / max(new_time, 1e-9)
+    cpus = os.cpu_count() or 1
+    gated = cpus >= SPEEDUP_GATE_MIN_CPUS
+    harness.write_report(
+        "direct_mining_speedup",
+        "\n".join(
+            [
+                f"Algorithm 3 mining: pre-PR path vs vectorized+cached+parallel "
+                f"({cpus} CPUs)",
+                harness.format_table(
+                    ["path", "seconds"],
+                    [
+                        ["legacy strings, no cache, serial", f"{old_time:.2f}"],
+                        ["integer codes, cache, 4 threads", f"{new_time:.2f}"],
+                    ],
+                ),
+                f"\nspeedup: {speedup:.2f}x "
+                f"(gate {'armed' if gated else 'off — <4 CPUs'}; "
+                "params + features asserted identical)",
+            ]
+        ),
+    )
+    if gated:
+        assert speedup >= GATE_FACTOR, (
+            f"mining speedup only {speedup:.2f}x (gate requires >= {GATE_FACTOR}x)"
+        )

@@ -55,7 +55,8 @@ from .obs import (
     write_jsonl,
 )
 from .runtime.cache import DEFAULT_CACHE_SIZE
-from .sax.discretize import SaxParams
+from .runtime.discretize_cache import DEFAULT_DISCRETIZE_CACHE_SIZE
+from .sax.discretize import REDUCTIONS, SaxParams
 from .serve import CompiledModel, PredictionService
 
 BASELINES = {
@@ -136,6 +137,8 @@ def _build_rpm(args, tracer: Tracer | None = None) -> RPMClassifier:
         n_jobs=args.jobs,
         parallel_backend=args.parallel_backend,
         cache_size=args.cache_size,
+        discretize_cache_size=args.discretize_cache_size,
+        numerosity_reduction=args.numerosity,
         trace=tracer,
     )
     if args.window:
@@ -409,6 +412,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sliding-window statistics cache entries (must be "
                             "positive; the library-level WindowStatsCache(0) "
                             "remains available for uncached runs)")
+        p.add_argument("--discretize-cache-size", type=_positive_int,
+                       default=DEFAULT_DISCRETIZE_CACHE_SIZE,
+                       help="discretization pre-work cache entries shared by "
+                            "the parameter search (must be positive; the "
+                            "library-level DiscretizationCache(0) remains "
+                            "available for uncached runs)")
+        p.add_argument("--numerosity", choices=list(REDUCTIONS), default="exact",
+                       help="numerosity reduction mode: 'exact' collapses "
+                            "runs of identical SAX words (paper default), "
+                            "'mindist' also collapses near-identical "
+                            "neighbours, 'none' keeps every window")
         p.add_argument("--trace", action="store_true",
                        help="print a per-stage span tree (wall times) after the run")
         p.add_argument("--metrics-out", metavar="PATH", default=None,

@@ -47,6 +47,7 @@ def find_class_candidates(
     numerosity_reduction: bool = True,
     min_split_fraction: float = 0.3,
     tracer=NOOP,
+    discretize_cache=None,
 ) -> list[PatternCandidate]:
     """Candidates for one class (the inner loop of Algorithm 1).
 
@@ -78,6 +79,11 @@ def find_class_candidates(
         shared no-op by default). Candidate counts additionally go to
         the process-wide metrics registry (``candidates.generated``,
         ``candidates.dropped_support``, ``grammar.rules``).
+    discretize_cache:
+        Optional :class:`~repro.runtime.DiscretizationCache`. The
+        parameter search re-mines the same concatenated class series
+        under many SAX triples; the cache lets every triple sharing a
+        window size reuse the sliding/z-norm/PAA stages.
     """
     if prototype not in _PROTOTYPES:
         raise ValueError(f"prototype must be one of {_PROTOTYPES}, got {prototype!r}")
@@ -90,7 +96,10 @@ def find_class_candidates(
     with tracer.span("class", label=str(label)):
         with tracer.span("discretize"):
             record, starts, lengths = discretize_class(
-                instances, params, numerosity_reduction=numerosity_reduction
+                instances,
+                params,
+                numerosity_reduction=numerosity_reduction,
+                cache=discretize_cache,
             )
         series = np.concatenate(
             [np.asarray(inst, dtype=float).ravel() for inst in instances]
@@ -166,6 +175,7 @@ def find_candidates(
     numerosity_reduction: bool = True,
     executor=None,
     tracer=NOOP,
+    discretize_cache=None,
 ) -> list[PatternCandidate]:
     """Algorithm 1 over the full training set.
 
@@ -185,15 +195,18 @@ def find_candidates(
     """
     X = np.asarray(X, dtype=float)
     y = np.asarray(y)
-    # Tracer state (locks, thread-locals) is not picklable: strip it
-    # from jobs that will be shipped to other processes.
-    job_tracer = tracer if executor is None or executor.backend != "process" else NOOP
+    # Tracer and cache state (locks, thread-locals) is not picklable:
+    # strip it from jobs that will be shipped to other processes.
+    in_process = executor is None or executor.backend != "process"
+    job_tracer = tracer if in_process else NOOP
+    job_cache = discretize_cache if in_process else None
     options = dict(
         gamma=gamma,
         prototype=prototype,
         support_mode=support_mode,
         numerosity_reduction=numerosity_reduction,
         tracer=job_tracer,
+        discretize_cache=job_cache,
     )
     jobs = [
         ([row for row in X[y == label]], label, params_by_class[label], options)

@@ -31,6 +31,7 @@ from ..obs.tracer import NOOP
 from ..opt.direct import direct_minimize
 from ..opt.grid import PRUNED_VALUE, grid_search
 from ..runtime.cache import WindowStatsCache
+from ..runtime.discretize_cache import DiscretizationCache
 from ..sax.discretize import SaxParams
 from .candidates import find_candidates
 from .selection import find_distinct
@@ -100,6 +101,7 @@ class ParamSelector:
         seed: int = 0,
         executor=None,
         tracer=NOOP,
+        discretize_cache=None,
     ) -> None:
         self.X = np.asarray(X, dtype=float)
         self.y = np.asarray(y)
@@ -118,8 +120,16 @@ class ParamSelector:
         self.executor = executor
         self.tracer = tracer
         self._stats_cache = WindowStatsCache()
+        # Shared discretization pre-work: evaluations revisiting a
+        # (class series, window size) pair skip sliding/z-norm/PAA.
+        self._discretize_cache = (
+            discretize_cache if discretize_cache is not None else DiscretizationCache()
+        )
         self.classes_ = np.unique(self.y)
         self._cache: dict[tuple[int, int, int], _Evaluation] = {}
+        # Running best triple per label, updated as evaluations land —
+        # replaces a full-cache rescan per class at selection time.
+        self._best: dict = {}
         # Fixed splits shared by every evaluation keeps the comparison fair.
         self._splits = [
             stratified_split(self.y, validation_fraction, seed=seed + 1000 * s)
@@ -140,16 +150,68 @@ class ParamSelector:
         if cached is not None:
             return cached
         evaluation = self._evaluate_uncached(SaxParams(*key))
-        self._cache[key] = evaluation
+        self._record(key, evaluation)
         return evaluation
 
-    def _evaluate_uncached(self, params: SaxParams) -> _Evaluation:
+    def evaluate_batch(self, points) -> list[_Evaluation]:
+        """Score a batch of raw (float) parameter points, in order.
+
+        Points are rounded and clipped to integer triples; distinct
+        uncached triples are evaluated — concurrently over the thread
+        executor when one is attached — and merged into the cache in
+        first-appearance order, exactly where the serial loop would
+        have inserted them. The per-label running best therefore sees
+        the same insertion sequence as serial evaluation, so tie-breaks
+        (strict improvement, earliest triple wins) are identical.
+        """
+        keys = [self.ranges.clip(*(int(round(v)) for v in point)) for point in points]
+        new_keys: list[tuple[int, int, int]] = []
+        seen: set[tuple[int, int, int]] = set()
+        for key in keys:
+            if key in self._cache or key in seen:
+                continue
+            seen.add(key)
+            new_keys.append(key)
+        fan_out = (
+            self.executor is not None
+            and self.executor.backend == "thread"
+            and len(new_keys) > 1
+        )
+        if fan_out:
+            registry().inc("direct.parallel_points", len(new_keys))
+            evaluations = self.executor.map(self._evaluate_batch_job, new_keys)
+        else:
+            evaluations = [self._evaluate_uncached(SaxParams(*key)) for key in new_keys]
+        for key, evaluation in zip(new_keys, evaluations):
+            self._record(key, evaluation)
+        return [self._cache[key] for key in keys]
+
+    def _evaluate_batch_job(self, key: tuple[int, int, int]) -> _Evaluation:
+        # Worker threads must not re-enter the shared pool (the outer
+        # map already owns every slot): inner stages run serially.
+        return self._evaluate_uncached(SaxParams(*key), executor=None)
+
+    def _record(self, key: tuple[int, int, int], evaluation: _Evaluation) -> None:
+        """Insert an evaluation and maintain the per-label running best."""
+        self._cache[key] = evaluation
+        if evaluation.pruned:
+            return
+        for label in self.classes_:
+            f1 = float(evaluation.f1_by_class.get(label, 0.0))
+            current = self._best.get(label)
+            if current is None or f1 > current[0]:
+                self._best[label] = (f1, key)
+
+    _UNSET = object()
+
+    def _evaluate_uncached(self, params: SaxParams, *, executor=_UNSET) -> _Evaluation:
         # The R of §5.3: one increment per *unique* triple actually mined.
         registry().inc("direct.evaluations")
         with self.tracer.span("evaluate", params=params.as_tuple()):
-            return self._run_evaluation(params)
+            return self._run_evaluation(params, executor=executor)
 
-    def _run_evaluation(self, params: SaxParams) -> _Evaluation:
+    def _run_evaluation(self, params: SaxParams, *, executor=_UNSET) -> _Evaluation:
+        executor = self.executor if executor is ParamSelector._UNSET else executor
         sums = {label: 0.0 for label in self.classes_}
         useful_splits = 0
         for train_idx, val_idx in self._splits:
@@ -166,8 +228,9 @@ class ParamSelector:
                     gamma=self.gamma,
                     prototype=self.prototype,
                     support_mode=self.support_mode,
-                    executor=self.executor,
+                    executor=executor,
                     tracer=self.tracer,
+                    discretize_cache=self._discretize_cache,
                 )
             except ValueError:
                 continue
@@ -179,14 +242,14 @@ class ParamSelector:
                 y_tr,
                 candidates,
                 tau_percentile=self.tau_percentile,
-                executor=self.executor,
+                executor=executor,
                 cache=self._stats_cache,
                 tracer=self.tracer,
             )
             X_val_t = pattern_features(
                 X_val,
                 selection.patterns,
-                executor=self.executor,
+                executor=executor,
                 cache=self._stats_cache,
                 tracer=self.tracer,
             )
@@ -223,7 +286,11 @@ class ParamSelector:
         """Per-class best SAX parameters via DIRECT (§4.2).
 
         One DIRECT run per class; the shared cache means a triple
-        visited while optimizing class A is free for class B.
+        visited while optimizing class A is free for class B. Each
+        DIRECT iteration hands its full batch of candidate points to
+        :meth:`evaluate_batch`, which fans distinct uncached triples
+        over the attached thread executor — the search trajectory is
+        identical to the serial path (see :func:`direct_minimize`).
         """
         bounds = [
             (float(self.ranges.window[0]), float(self.ranges.window[1])),
@@ -231,7 +298,7 @@ class ParamSelector:
             (float(self.ranges.alphabet[0]), float(self.ranges.alphabet[1])),
         ]
         best: dict = {}
-        with self.tracer.span("direct") as span:
+        with self.tracer.span("direct") as span, self.tracer.adopt(span):
             for label in self.classes_:
 
                 def objective(x: np.ndarray, _label=label) -> float:
@@ -241,11 +308,20 @@ class ParamSelector:
                         return PRUNED_VALUE
                     return 1.0 - evaluation.f1_by_class.get(_label, 0.0)
 
+                def batch_objective(points, _label=label) -> list[float]:
+                    return [
+                        PRUNED_VALUE
+                        if evaluation.pruned
+                        else 1.0 - evaluation.f1_by_class.get(_label, 0.0)
+                        for evaluation in self.evaluate_batch(points)
+                    ]
+
                 result = direct_minimize(
                     objective,
                     bounds,
                     max_evaluations=max_evaluations,
                     max_iterations=max_iterations,
+                    batch_evaluate=batch_objective,
                 )
                 key = self.ranges.clip(*(int(round(v)) for v in result.x))
                 best[label] = SaxParams(*self._best_key_for(label, fallback=key))
@@ -273,16 +349,15 @@ class ParamSelector:
         }
 
     def _best_key_for(self, label, fallback) -> tuple[int, int, int]:
-        """The cached triple with the highest F1 for *label*."""
-        best_key = None
-        best_f1 = -1.0
-        for key, evaluation in self._cache.items():
-            if evaluation.pruned:
-                continue
-            f1 = evaluation.f1_by_class.get(label, 0.0)
-            if f1 > best_f1:
-                best_f1 = f1
-                best_key = key
+        """The cached triple with the highest F1 for *label*.
+
+        Reads the running best maintained by :meth:`_record` — an O(1)
+        lookup with the same semantics as scanning the whole cache in
+        insertion order with strict improvement (ties keep the earliest
+        triple).
+        """
+        current = self._best.get(label)
+        best_key = current[1] if current is not None else None
         if best_key is None:
             best_key = fallback or self.ranges.clip(
                 (self.ranges.window[0] + self.ranges.window[1]) // 2, 6, 5

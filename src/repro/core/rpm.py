@@ -29,6 +29,10 @@ from ..ml.svm import SVC
 from ..obs import resolve_tracer
 from ..obs.metrics import registry
 from ..runtime.cache import DEFAULT_CACHE_SIZE, WindowStatsCache
+from ..runtime.discretize_cache import (
+    DEFAULT_DISCRETIZE_CACHE_SIZE,
+    DiscretizationCache,
+)
 from ..runtime.executor import BACKENDS, ParallelExecutor
 from ..sax.discretize import SaxParams
 from ..sax.znorm import znorm
@@ -85,6 +89,14 @@ class RPMClassifier(BaseEstimator):
     cache_size:
         Entries in the sliding-window statistics LRU cache shared by
         this classifier's transforms (``0`` disables caching).
+    discretize_cache_size:
+        Entries in the discretization LRU cache shared by the parameter
+        search and mining (z-normalized window matrices + PAA
+        reductions per ``(series, window_size)``; ``0`` disables).
+    numerosity_reduction:
+        ``True`` (paper default, collapse exact-duplicate consecutive
+        words), ``False`` (keep all), or one of ``'exact'`` /
+        ``'mindist'`` / ``'none'``.
     trace:
         Observability knob: ``None``/``False`` (default) runs with the
         zero-cost no-op tracer; ``True`` builds a fresh
@@ -117,6 +129,7 @@ class RPMClassifier(BaseEstimator):
         n_jobs: int = 1,
         parallel_backend: str = "thread",
         cache_size: int = DEFAULT_CACHE_SIZE,
+        discretize_cache_size: int = DEFAULT_DISCRETIZE_CACHE_SIZE,
         trace=None,
     ) -> None:
         if param_search not in ("direct", "grid"):
@@ -143,11 +156,13 @@ class RPMClassifier(BaseEstimator):
         self.n_jobs = n_jobs
         self.parallel_backend = parallel_backend
         self.cache_size = cache_size
+        self.discretize_cache_size = discretize_cache_size
         # ``trace`` is kept verbatim for get_params()/clone(); the
         # resolved tracer is what the pipeline actually uses.
         self.trace = trace
         self.tracer = resolve_tracer(trace)
         self._stats_cache = WindowStatsCache(cache_size)
+        self._discretize_cache = DiscretizationCache(discretize_cache_size)
 
         self.patterns_: list[RepresentativePattern] = []
         self.params_by_class_: dict = {}
@@ -233,6 +248,7 @@ class RPMClassifier(BaseEstimator):
             seed=self.seed,
             executor=executor,
             tracer=self.tracer,
+            discretize_cache=self._discretize_cache,
         )
         if self.param_search == "direct":
             params = selector.select_direct(max_evaluations=self.direct_budget)
@@ -260,6 +276,7 @@ class RPMClassifier(BaseEstimator):
                 numerosity_reduction=self.numerosity_reduction,
                 executor=executor,
                 tracer=self.tracer,
+                discretize_cache=self._discretize_cache,
             )
             if candidates:
                 return candidates

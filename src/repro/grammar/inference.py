@@ -30,6 +30,7 @@ __all__ = [
     "Occurrence",
     "RuleMotif",
     "concatenate_with_junctions",
+    "find_token_occurrences",
     "find_word_occurrences",
     "induce_motifs",
 ]
@@ -119,6 +120,7 @@ def find_word_occurrences(words: Sequence[str], needle: Sequence[str]) -> list[i
 
     Uses a first-token index to keep the scan near-linear for the short
     needles Sequitur produces. Overlapping occurrences are reported.
+    Tokens may be any equality-comparable objects (strings, ints).
     """
     if not needle:
         return []
@@ -132,6 +134,24 @@ def find_word_occurrences(words: Sequence[str], needle: Sequence[str]) -> list[i
         if all(words[i + j] == needle[j] for j in range(1, k)):
             out.append(i)
     return out
+
+
+def find_token_occurrences(token_ids: np.ndarray, needle: Sequence[int]) -> list[int]:
+    """Vectorized :func:`find_word_occurrences` over an integer id array.
+
+    One boolean AND per needle position instead of a Python scan per
+    window; overlapping occurrences are reported, matching the scalar
+    path exactly.
+    """
+    token_ids = np.asarray(token_ids)
+    k = len(needle)
+    n = token_ids.size
+    if k == 0 or k > n:
+        return []
+    hits = token_ids[: n - k + 1] == needle[0]
+    for j in range(1, k):
+        hits &= token_ids[j : n - k + 1 + j] == needle[j]
+    return np.flatnonzero(hits).tolist()
 
 
 def induce_motifs(
@@ -168,9 +188,15 @@ def induce_motifs(
     ends = starts + lengths
     window = record.params.window_size
 
-    grammar = Sequitur().feed_all(record.words)
+    # Grammar induction consumes compact integer token ids; the letter
+    # strings are rendered only for the motifs that survive (display /
+    # saved-model metadata). Equal words share an id, so the grammar —
+    # and the dedup below — is identical to feeding the strings.
+    token_ids = record.token_ids
+    vocabulary = record.vocabulary
+    grammar = Sequitur().feed_all(token_ids.tolist())
     motifs: list[RuleMotif] = []
-    seen_expansions: set[tuple[str, ...]] = set()
+    seen_expansions: set[tuple[int, ...]] = set()
     for rule in grammar.non_start_rules():
         expansion = tuple(rule.expansion())
         if len(expansion) < min_word_count:
@@ -178,8 +204,11 @@ def induce_motifs(
         if expansion in seen_expansions:
             continue
         seen_expansions.add(expansion)
-        motif = RuleMotif(rule_id=rule.rule_id, words=expansion)
-        for word_index in find_word_occurrences(record.words, expansion):
+        motif = RuleMotif(
+            rule_id=rule.rule_id,
+            words=tuple(vocabulary[i] for i in expansion),
+        )
+        for word_index in find_token_occurrences(token_ids, expansion):
             raw_start = int(record.offsets[word_index])
             raw_end = int(record.offsets[word_index + len(expansion) - 1]) + window
             instance = int(np.searchsorted(starts, raw_start, side="right") - 1)
@@ -200,10 +229,16 @@ def discretize_class(
     params: SaxParams,
     *,
     numerosity_reduction: bool = True,
+    cache=None,
 ) -> tuple[SaxRecord, np.ndarray, np.ndarray]:
     """Concatenate, junction-mask and discretize a class's instances.
 
     Returns ``(record, starts, lengths)`` ready for :func:`induce_motifs`.
+    ``cache`` is an optional
+    :class:`~repro.runtime.DiscretizationCache`; repeated calls sharing
+    this class's concatenated series and window size (the parameter
+    search revisits both constantly) then skip the sliding/z-norm/PAA
+    stages.
     """
     series, starts, valid = concatenate_with_junctions(instances, params.window_size)
     record = discretize(
@@ -211,6 +246,7 @@ def discretize_class(
         params,
         numerosity_reduction=numerosity_reduction,
         valid_start=valid,
+        cache=cache,
     )
     lengths = np.array([np.asarray(inst).size for inst in instances], dtype=int)
     return record, starts, lengths

@@ -77,7 +77,8 @@ class Rule:
         parts: list[str] = []
         for symbol in self.symbols():
             if isinstance(symbol, Terminal):
-                parts.append(symbol.token)
+                # Tokens may be SAX words or integer token ids.
+                parts.append(str(symbol.token))
             elif isinstance(symbol, NonTerminal):
                 parts.append(f"R{symbol.rule.rule_id}")
         return " ".join(parts)

@@ -99,6 +99,7 @@ def direct_minimize(
     max_evaluations: int = 200,
     max_iterations: int = 50,
     eps: float = 1e-4,
+    batch_evaluate=None,
 ) -> DirectResult:
     """Globally minimize ``func`` over a box with the DIRECT algorithm.
 
@@ -113,6 +114,16 @@ def direct_minimize(
         paper's time-constrained optimization, §4.2).
     eps:
         The ε of the potentially-optimal condition (Jones suggests 1e-4).
+    batch_evaluate:
+        Optional callable taking a *list* of points (original
+        coordinates) and returning their values in order. When given it
+        replaces ``func`` and receives every point of an iteration in
+        one call, so a caller can evaluate them concurrently. Which
+        points get sampled each iteration is fixed *before* any of them
+        is evaluated (the trisection geometry depends only on the
+        iteration's potentially-optimal set and the evaluation budget),
+        so the search trajectory — and the result — is identical to the
+        serial path no matter how the batch is scheduled.
 
     Returns
     -------
@@ -129,15 +140,23 @@ def direct_minimize(
 
     evaluations = 0
 
-    def evaluate(unit_x: np.ndarray) -> float:
-        """Score one integer parameter triple (cached)."""
+    def evaluate_points(unit_points: list[np.ndarray]) -> list[float]:
+        """Evaluate a planned batch of unit-cube points, in order."""
         nonlocal evaluations
-        evaluations += 1
-        return float(func(lo + span * unit_x))
+        evaluations += len(unit_points)
+        scaled = [lo + span * p for p in unit_points]
+        if batch_evaluate is not None:
+            values = batch_evaluate(scaled)
+            return [float(v) for v in values]
+        return [float(func(x)) for x in scaled]
 
     center = np.full(dim, 0.5)
     rects: list[_Rect] = [
-        _Rect(center=center, levels=np.zeros(dim, dtype=int), value=evaluate(center))
+        _Rect(
+            center=center,
+            levels=np.zeros(dim, dtype=int),
+            value=evaluate_points([center])[0],
+        )
     ]
     best_rect = rects[0]
     history = [best_rect.value]
@@ -148,35 +167,55 @@ def direct_minimize(
         chosen = _potentially_optimal(rects, best_rect.value, eps)
         if not chosen:  # pragma: no cover - chosen always contains the largest rect
             break
-        progressed = False
+
+        # -- plan: the exact evaluation-point sequence of this iteration.
+        # Values never feed back into which points are sampled within an
+        # iteration (only the budget does), so the serial order can be
+        # precomputed and the whole batch evaluated at once.
+        plan: list[tuple[int, int, np.ndarray, np.ndarray]] = []
+        planned_evals = evaluations
         for idx in chosen:
             rect = rects[idx]
             max_level = rect.levels.min()  # smallest level == longest side
             long_dims = np.flatnonzero(rect.levels == max_level)
-            if evaluations >= max_evaluations:
+            if planned_evals >= max_evaluations:
                 break
             delta = 3.0 ** (-(max_level + 1.0))
             # Sample both neighbours along every longest dimension.
-            samples: list[tuple[float, int, _Rect, _Rect]] = []
             for d_i in long_dims:
-                if evaluations + 2 > max_evaluations:
+                if planned_evals + 2 > max_evaluations:
                     break
                 left = rect.center.copy()
                 left[d_i] -= delta
                 right = rect.center.copy()
                 right[d_i] += delta
-                f_left = evaluate(left)
-                f_right = evaluate(right)
-                samples.append(
-                    (
-                        min(f_left, f_right),
-                        int(d_i),
-                        _Rect(center=left, levels=rect.levels.copy(), value=f_left),
-                        _Rect(center=right, levels=rect.levels.copy(), value=f_right),
-                    )
+                plan.append((idx, int(d_i), left, right))
+                planned_evals += 2
+
+        # -- evaluate: one flat batch in planned (serial) order.
+        points = [p for _, _, left, right in plan for p in (left, right)]
+        values = evaluate_points(points) if points else []
+
+        # -- apply: replay the serial bookkeeping with the batch values.
+        samples_by_rect: dict[int, list[tuple[float, int, _Rect, _Rect]]] = {}
+        for pair_index, (idx, d_i, left, right) in enumerate(plan):
+            f_left = values[2 * pair_index]
+            f_right = values[2 * pair_index + 1]
+            levels = rects[idx].levels
+            samples_by_rect.setdefault(idx, []).append(
+                (
+                    min(f_left, f_right),
+                    d_i,
+                    _Rect(center=left, levels=levels.copy(), value=f_left),
+                    _Rect(center=right, levels=levels.copy(), value=f_right),
                 )
+            )
+        progressed = False
+        for idx in chosen:
+            samples = samples_by_rect.get(idx)
             if not samples:
                 continue
+            rect = rects[idx]
             progressed = True
             # Split best dimension first (Jones' ordering rule).
             samples.sort(key=lambda item: item[0])

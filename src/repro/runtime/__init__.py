@@ -17,6 +17,12 @@ window length. This package factors that out:
     :class:`WindowStatsCache` — LRU cache of kernel statistics keyed on
     (series fingerprint, window length), so every pattern of a given
     length reuses one precomputation.
+``discretize_cache``
+    :class:`DiscretizationCache` — LRU cache of discretization pre-work
+    (z-normalized window matrix + per-``paa_size`` PAA reductions)
+    keyed on (series fingerprint, window size), so parameter-search
+    evaluations sharing a window skip straight to the breakpoint
+    lookup.
 
 Determinism guarantee: parallelism only changes *scheduling*, never the
 floating-point expressions, so results are bitwise identical across
@@ -24,11 +30,19 @@ backends and ``n_jobs`` values (see ``docs/runtime.md``).
 """
 
 from .cache import DEFAULT_CACHE_SIZE, WindowStatsCache, default_cache
+from .discretize_cache import (
+    DEFAULT_DISCRETIZE_CACHE_SIZE,
+    DiscretizationCache,
+    DiscretizationEntry,
+)
 from .executor import ParallelExecutor, resolve_n_jobs
 from .kernel import SlidingWindowStats, resample_pattern, sliding_best_distances
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_DISCRETIZE_CACHE_SIZE",
+    "DiscretizationCache",
+    "DiscretizationEntry",
     "ParallelExecutor",
     "SlidingWindowStats",
     "WindowStatsCache",

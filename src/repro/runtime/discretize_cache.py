@@ -1,0 +1,186 @@
+"""LRU cache of discretization pre-work for the SAX parameter search.
+
+Algorithm 3 (``ParamSelector``) evaluates hundreds of SAX parameter
+triples, and every evaluation used to re-slide, re-z-normalize and
+re-reduce the same concatenated class series from scratch. The
+expensive stages depend on only a *prefix* of the triple:
+
+* the z-normalized window matrix depends on ``(series, window_size)``;
+* the PAA reduction additionally depends on ``paa_size``;
+* only the final breakpoint lookup (``np.searchsorted`` into a cached
+  breakpoint table) depends on ``alphabet_size`` — and that step is
+  nearly free.
+
+DIRECT revisits the same window axis constantly, so caching the first
+two stages turns most of an evaluation's preprocessing into a hit.
+:class:`DiscretizationCache` holds one entry per ``(series
+fingerprint, window_size)`` — the fingerprint is a content hash, so a
+mutated or different series can never alias a cached entry — and each
+entry lazily accumulates its per-``paa_size`` reductions. Eviction is
+least-recently-used at the entry level; evicting an entry drops its
+PAA reductions with it.
+
+Thread-safe, mirroring :class:`~repro.runtime.cache.WindowStatsCache`;
+with the process backend each worker builds its own local cache
+(window matrices are not worth shipping across process boundaries).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from ..obs.metrics import MetricsRegistry, registry
+from ..sax.discretize import sliding_windows
+from ..sax.paa import paa_rows
+from ..sax.znorm import znorm_rows
+
+__all__ = [
+    "DEFAULT_DISCRETIZE_CACHE_SIZE",
+    "DiscretizationCache",
+    "DiscretizationEntry",
+]
+
+#: Default maximum number of (series, window_size) entries. A parameter
+#: search touches (classes × splits) concatenated series and DIRECT
+#: keeps a short working set of window sizes per series, so a few dozen
+#: entries covers a full Algorithm 3 run.
+DEFAULT_DISCRETIZE_CACHE_SIZE = 32
+
+
+class DiscretizationEntry:
+    """The cached pre-work for one ``(series, window_size)`` pair.
+
+    ``normalized`` is the z-normalized sliding-window matrix — treat it
+    as immutable; it is shared by every cache consumer. ``paa(size)``
+    returns (building and memoizing on first use) the row-wise PAA
+    reduction for one segment count.
+    """
+
+    __slots__ = ("normalized", "_paa", "_lock")
+
+    def __init__(self, normalized: np.ndarray) -> None:
+        self.normalized = normalized
+        self._paa: dict[int, np.ndarray] = {}
+        self._lock = threading.Lock()
+
+    def paa(self, paa_size: int) -> np.ndarray:
+        """The ``(n_windows, paa_size)`` segment means (memoized)."""
+        paa_size = int(paa_size)
+        with self._lock:
+            cached = self._paa.get(paa_size)
+        if cached is not None:
+            return cached
+        # Build outside the lock: concurrent misses on the same size may
+        # duplicate work but the results are bitwise identical.
+        reduced = paa_rows(self.normalized, paa_size)
+        with self._lock:
+            return self._paa.setdefault(paa_size, reduced)
+
+    @property
+    def n_paa_sizes(self) -> int:
+        """Number of PAA reductions currently memoized."""
+        return len(self._paa)
+
+
+class DiscretizationCache:
+    """Thread-safe LRU cache of :class:`DiscretizationEntry` objects.
+
+    Parameters
+    ----------
+    max_entries:
+        Entry cap; the least recently used ``(series, window_size)``
+        pair is evicted past it. ``0`` disables caching (every call
+        computes fresh matrices) while keeping the interface.
+
+    Counters ``hits`` / ``misses`` / ``evictions`` are kept as instance
+    attributes for tests and additionally published to a
+    :class:`~repro.obs.metrics.MetricsRegistry`
+    (``discretize.cache.hits`` / ``discretize.cache.misses`` /
+    ``discretize.cache.evictions``) — the process-wide registry by
+    default — so the parameter search's reuse rate shows up in
+    ``--metrics-out`` dumps next to the distance-kernel cache.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_DISCRETIZE_CACHE_SIZE,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._metrics = metrics if metrics is not None else registry()
+        self._entries: OrderedDict[tuple, DiscretizationEntry] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def token(series: np.ndarray) -> str:
+        """Content fingerprint of a 1-D series.
+
+        Hashing runs at memory bandwidth — negligible next to the
+        O(n·w) z-normalization it guards — and makes stale hits
+        impossible (mutated data hashes to a new key).
+        """
+        values = np.ascontiguousarray(np.asarray(series, dtype=float))
+        digest = hashlib.blake2b(values.tobytes(), digest_size=16)
+        digest.update(repr(values.shape).encode())
+        return digest.hexdigest()
+
+    @staticmethod
+    def _build(series: np.ndarray, window_size: int) -> DiscretizationEntry:
+        return DiscretizationEntry(
+            znorm_rows(sliding_windows(series, window_size))
+        )
+
+    def windows(
+        self, series: np.ndarray, window_size: int, *, token: str | None = None
+    ) -> DiscretizationEntry:
+        """Fetch (or build and insert) the entry for ``(series, window_size)``."""
+        if self.max_entries == 0:
+            self.misses += 1
+            self._metrics.inc("discretize.cache.misses")
+            return self._build(series, window_size)
+        if token is None:
+            token = self.token(series)
+        key = (token, int(window_size))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+        if entry is not None:
+            self._metrics.inc("discretize.cache.hits")
+            return entry
+        self._metrics.inc("discretize.cache.misses")
+        # Build outside the lock: concurrent misses on the same key may
+        # duplicate work but never corrupt state (last writer wins).
+        entry = self._build(series, window_size)
+        evicted = 0
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted:
+            self._metrics.inc("discretize.cache.evictions", evicted)
+        return entry
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()

@@ -15,7 +15,14 @@ from .alphabet import (
     symbol_distance_table,
     symbols_for,
 )
-from .discretize import SaxParams, SaxRecord, discretize, sliding_windows
+from .discretize import (
+    REDUCTIONS,
+    SaxParams,
+    SaxRecord,
+    discretize,
+    discretize_implementation,
+    sliding_windows,
+)
 from .paa import paa, paa_rows
 from .sax import mindist, sax_word, sax_words_for_rows
 from .znorm import NORM_THRESHOLD, znorm, znorm_rows
@@ -24,10 +31,12 @@ __all__ = [
     "MAX_ALPHABET",
     "MIN_ALPHABET",
     "NORM_THRESHOLD",
+    "REDUCTIONS",
     "SaxParams",
     "SaxRecord",
     "breakpoints",
     "discretize",
+    "discretize_implementation",
     "indices_to_letters",
     "letters_to_indices",
     "mindist",

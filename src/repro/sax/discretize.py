@@ -10,18 +10,44 @@ Numerosity reduction: consecutive identical words are collapsed into
 the first occurrence, which (a) shrinks the grammar-induction input and
 (b) is what lets Sequitur rules expand to *variable-length* raw
 subsequences.
+
+Representation: the hot path never materializes Python strings. Each
+window becomes one row of a ``(n_windows, paa_size)`` ``uint8`` *code
+matrix* (breakpoint-region indices), numerosity reduction runs as array
+operations over that matrix, and the surviving rows travel inside the
+:class:`SaxRecord`. Grammar induction consumes compact integer token
+ids (:attr:`SaxRecord.token_ids`); the familiar letter strings are
+rendered lazily — once per *distinct* word — only when something
+actually asks for :attr:`SaxRecord.words`.
+
+The pre-vectorization implementation (one Python string per window, a
+Python-loop reduction) is kept as the reference oracle: wrap a call in
+:func:`discretize_implementation` ``('legacy')`` to run it. The parity
+suite (``tests/test_discretize_parity.py``) pins the two paths
+bitwise-identical; ``benchmarks/bench_discretize.py`` measures the gap.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import string
+from contextlib import contextmanager
+from dataclasses import dataclass
 
 import numpy as np
 
+from .alphabet import breakpoints
+from .paa import paa_rows
 from .sax import sax_words_for_rows
 from .znorm import znorm_rows
 
-__all__ = ["SaxParams", "SaxRecord", "sliding_windows", "discretize"]
+__all__ = [
+    "SaxParams",
+    "SaxRecord",
+    "sliding_windows",
+    "discretize",
+    "discretize_implementation",
+    "REDUCTIONS",
+]
 
 
 @dataclass(frozen=True)
@@ -47,40 +73,140 @@ class SaxParams:
         return (self.window_size, self.paa_size, self.alphabet_size)
 
 
-@dataclass
 class SaxRecord:
     """The discretization result fed into grammar induction.
 
     Attributes
     ----------
-    words:
-        SAX words surviving numerosity reduction, in series order.
     offsets:
         ``offsets[i]`` is the starting index in the source series of the
-        window that produced ``words[i]``.
+        window that produced word ``i``.
     params:
         The :class:`SaxParams` used.
     series_length:
         Length of the source series (needed to convert a word index
         range back to a raw index range).
+    dropped:
+        Number of window positions excluded by the ``valid_start`` mask.
+    codes:
+        ``(len(self), paa_size)`` ``uint8`` matrix of breakpoint-region
+        indices for the surviving windows, or ``None`` for records built
+        directly from strings (the legacy path).
+
+    Derived views — all computed lazily and cached:
+
+    ``words``
+        The SAX words as letter strings, in series order (rendered once
+        per *distinct* code row, not per window).
+    ``token_ids``
+        One small non-negative ``int64`` per surviving window; two
+        positions share an id iff they share a word. This is what the
+        grammar inducer consumes — hashing ints beats hashing strings.
+    ``vocabulary``
+        Tuple mapping a token id back to its letter string.
     """
 
-    words: list[str]
-    offsets: np.ndarray
-    params: SaxParams
-    series_length: int
-    dropped: int = field(default=0)
+    __slots__ = (
+        "offsets",
+        "params",
+        "series_length",
+        "dropped",
+        "codes",
+        "_words",
+        "_token_ids",
+        "_vocabulary",
+    )
+
+    def __init__(
+        self,
+        words: list[str] | None = None,
+        offsets: np.ndarray | None = None,
+        params: SaxParams | None = None,
+        series_length: int = 0,
+        dropped: int = 0,
+        *,
+        codes: np.ndarray | None = None,
+    ) -> None:
+        if words is None and codes is None:
+            raise ValueError("SaxRecord needs either words or a code matrix")
+        self._words = list(words) if words is not None else None
+        self.codes = codes
+        self.offsets = np.asarray(offsets if offsets is not None else [], dtype=int)
+        self.params = params
+        self.series_length = int(series_length)
+        self.dropped = int(dropped)
+        self._token_ids: np.ndarray | None = None
+        self._vocabulary: tuple[str, ...] | None = None
 
     def __len__(self) -> int:
-        return len(self.words)
+        return int(self.offsets.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SaxRecord({len(self)} words, params={self.params}, "
+            f"series_length={self.series_length}, dropped={self.dropped})"
+        )
+
+    # -- lazy token views -----------------------------------------------------
+
+    def _build_tokens(self) -> None:
+        if self._token_ids is not None:
+            return
+        if self.codes is not None and self._words is None:
+            if self.codes.shape[0] == 0:
+                self._vocabulary = ()
+                self._token_ids = np.empty(0, dtype=np.int64)
+                return
+            uniq, inverse = np.unique(self.codes, axis=0, return_inverse=True)
+            letters = np.array(list(string.ascii_lowercase))
+            self._vocabulary = tuple("".join(row) for row in letters[uniq])
+            self._token_ids = np.asarray(inverse, dtype=np.int64).ravel()
+        else:
+            mapping: dict[str, int] = {}
+            ids = np.empty(len(self._words), dtype=np.int64)
+            for i, word in enumerate(self._words):
+                ids[i] = mapping.setdefault(word, len(mapping))
+            self._vocabulary = tuple(mapping)
+            self._token_ids = ids
+
+    @property
+    def token_ids(self) -> np.ndarray:
+        """Integer token per surviving window (grammar-induction input)."""
+        self._build_tokens()
+        return self._token_ids
+
+    @property
+    def vocabulary(self) -> tuple[str, ...]:
+        """Token id → SAX word letter string."""
+        self._build_tokens()
+        return self._vocabulary
+
+    @property
+    def words(self) -> list[str]:
+        """SAX words as letter strings (rendered lazily, then cached)."""
+        if self._words is None:
+            self._build_tokens()
+            vocab = self._vocabulary
+            self._words = [vocab[i] for i in self._token_ids.tolist()]
+        return self._words
 
     def as_string(self) -> str:
-        """The token string fed to the grammar inducer."""
+        """The token string fed to the grammar inducer (display form)."""
         return " ".join(self.words)
 
 
-def sliding_windows(series: np.ndarray, window_size: int) -> np.ndarray:
-    """All contiguous windows of *series* as a (m - n + 1, n) view-copy."""
+def sliding_windows(
+    series: np.ndarray, window_size: int, *, copy: bool = False
+) -> np.ndarray:
+    """All contiguous windows of *series* as a ``(m - n + 1, n)`` array.
+
+    By default this is the zero-copy strided **view** — read-only, and
+    aliasing *series* — which is all the read-only consumers (z-norm and
+    PAA both allocate fresh outputs) need; on long concatenated class
+    series the view halves peak memory versus materializing every
+    window. Pass ``copy=True`` to get an owned, writable copy instead
+    (required before mutating rows in place).
+    """
     values = np.asarray(series, dtype=float)
     if values.ndim != 1:
         raise ValueError(f"sliding_windows expects a 1-D array, got shape {values.shape}")
@@ -88,7 +214,8 @@ def sliding_windows(series: np.ndarray, window_size: int) -> np.ndarray:
         raise ValueError(
             f"window_size ({window_size}) exceeds series length ({values.size})"
         )
-    return np.lib.stride_tricks.sliding_window_view(values, window_size).copy()
+    view = np.lib.stride_tricks.sliding_window_view(values, window_size)
+    return view.copy() if copy else view
 
 
 #: Numerosity-reduction strategies (GrammarViz's vocabulary): ``exact``
@@ -105,59 +232,153 @@ def _mindist_zero(word_a: str, word_b: str) -> bool:
     )
 
 
-def discretize(
-    series: np.ndarray,
-    params: SaxParams,
-    *,
-    numerosity_reduction: bool | str = True,
-    valid_start: np.ndarray | None = None,
-) -> SaxRecord:
-    """Discretize *series* into a numerosity-reduced SAX word sequence.
-
-    Parameters
-    ----------
-    series:
-        The raw (concatenated) series.
-    params:
-        SAX parameters (window, PAA, alphabet sizes).
-    numerosity_reduction:
-        Strategy for collapsing consecutive near-duplicate words
-        (paper §3.2.1). ``True`` / ``'exact'`` keeps the first of each
-        run of identical words; ``'mindist'`` additionally collapses
-        words at MINDIST zero from their predecessor (GrammarViz's
-        alternative strategy, coarser); ``False`` / ``'none'`` keeps
-        every window (ablation).
-    valid_start:
-        Optional boolean mask of length ``len(series) - window + 1``;
-        positions marked ``False`` are skipped entirely. RPM uses this
-        to drop windows that span junctions of concatenated training
-        instances (paper §3.2.2 / Figure 4). A skipped position also
-        breaks a numerosity-reduction run, so patterns cannot silently
-        bridge two different training instances.
-
-    Returns
-    -------
-    SaxRecord
-    """
+def _resolve_reduction(numerosity_reduction: bool | str) -> str:
     if isinstance(numerosity_reduction, bool):
-        reduction = "exact" if numerosity_reduction else "none"
-    else:
-        reduction = numerosity_reduction
-    if reduction not in REDUCTIONS:
+        return "exact" if numerosity_reduction else "none"
+    if numerosity_reduction not in REDUCTIONS:
         raise ValueError(
             f"numerosity_reduction must be bool or one of {REDUCTIONS}, "
             f"got {numerosity_reduction!r}"
         )
+    return numerosity_reduction
 
-    values = np.asarray(series, dtype=float)
+
+def _check_valid_start(
+    valid_start: np.ndarray | None, n_positions: int
+) -> np.ndarray | None:
+    if valid_start is None:
+        return None
+    valid_start = np.asarray(valid_start, dtype=bool)
+    if valid_start.shape != (n_positions,):
+        raise ValueError(
+            f"valid_start must have shape ({n_positions},), got {valid_start.shape}"
+        )
+    return valid_start
+
+
+# -- implementation switch ----------------------------------------------------
+
+_IMPLEMENTATION = "vectorized"
+
+
+@contextmanager
+def discretize_implementation(name: str):
+    """Temporarily force the ``'vectorized'`` or ``'legacy'`` discretize path.
+
+    The legacy path is the pre-vectorization reference (per-window
+    Python strings, Python-loop numerosity reduction). It exists for the
+    parity suite and the old-vs-new benchmark; both paths produce
+    bitwise-identical :class:`SaxRecord` contents.
+    """
+    global _IMPLEMENTATION
+    if name not in ("vectorized", "legacy"):
+        raise ValueError(f"implementation must be 'vectorized' or 'legacy', got {name!r}")
+    previous = _IMPLEMENTATION
+    _IMPLEMENTATION = name
+    try:
+        yield
+    finally:
+        _IMPLEMENTATION = previous
+
+
+# -- numerosity reduction over the code matrix --------------------------------
+
+
+def _kept_positions(
+    codes: np.ndarray, valid_start: np.ndarray | None, reduction: str
+) -> tuple[np.ndarray, int]:
+    """Surviving window positions under *reduction* and the junction mask.
+
+    Semantics match the legacy scan exactly: an invalid position breaks
+    the reduction run (the next valid word is always kept), ``exact``
+    collapses a word equal to its predecessor, and ``mindist`` collapses
+    a word within one breakpoint step of the *last kept* word — the
+    chain comparison is against the kept anchor, not the adjacent row,
+    so ``mindist`` keeps its small sequential scan (over plain int rows,
+    not strings).
+    """
+    n_positions = codes.shape[0]
+    if valid_start is None:
+        valid_idx = np.arange(n_positions)
+        dropped = 0
+    else:
+        valid_idx = np.flatnonzero(valid_start)
+        dropped = int(n_positions - valid_idx.size)
+    if valid_idx.size == 0 or reduction == "none":
+        return valid_idx, dropped
+
+    contiguous = np.empty(valid_idx.size, dtype=bool)
+    contiguous[0] = False  # the first valid window always starts a run
+    np.equal(np.diff(valid_idx), 1, out=contiguous[1:])
+
+    if reduction == "exact":
+        # Equality is transitive, so comparing each valid row to the
+        # previous valid row is equivalent to comparing to the last
+        # *kept* row — the whole mode is two vectorized ops.
+        keep = np.ones(valid_idx.size, dtype=bool)
+        same = (codes[valid_idx[1:]] == codes[valid_idx[:-1]]).all(axis=1)
+        keep[1:] = ~(contiguous[1:] & same)
+        return valid_idx[keep], dropped
+
+    # mindist: |code - last_kept_code| <= 1 per letter is NOT transitive,
+    # so the anchor must advance only on keeps.
+    rows = codes[valid_idx].astype(np.int16).tolist()
+    runs = contiguous.tolist()
+    kept: list[int] = []
+    previous: list[int] | None = None
+    for k, row in enumerate(rows):
+        if not runs[k]:
+            previous = None
+        if previous is not None and all(
+            abs(a - b) <= 1 for a, b in zip(row, previous)
+        ):
+            continue
+        kept.append(k)
+        previous = row
+    return valid_idx[np.asarray(kept, dtype=valid_idx.dtype)], dropped
+
+
+# -- the two implementations --------------------------------------------------
+
+
+def _discretize_vectorized(
+    values: np.ndarray,
+    params: SaxParams,
+    reduction: str,
+    valid_start: np.ndarray | None,
+    cache,
+) -> SaxRecord:
+    if cache is not None:
+        entry = cache.windows(values, params.window_size)
+        n_positions = entry.normalized.shape[0]
+        segments = entry.paa(params.paa_size)
+    else:
+        normalized = znorm_rows(sliding_windows(values, params.window_size))
+        n_positions = normalized.shape[0]
+        segments = paa_rows(normalized, params.paa_size)
+    valid_start = _check_valid_start(valid_start, n_positions)
+    cuts = breakpoints(params.alphabet_size)
+    codes = np.searchsorted(cuts, segments, side="left").astype(np.uint8)
+    positions, dropped = _kept_positions(codes, valid_start, reduction)
+    return SaxRecord(
+        offsets=positions,
+        params=params,
+        series_length=values.size,
+        dropped=dropped,
+        codes=np.ascontiguousarray(codes[positions]),
+    )
+
+
+def _discretize_legacy(
+    values: np.ndarray,
+    params: SaxParams,
+    reduction: str,
+    valid_start: np.ndarray | None,
+) -> SaxRecord:
+    """The pre-vectorization reference path (strings + Python loop)."""
     windows = sliding_windows(values, params.window_size)
     n_positions = windows.shape[0]
-    if valid_start is not None:
-        valid_start = np.asarray(valid_start, dtype=bool)
-        if valid_start.shape != (n_positions,):
-            raise ValueError(
-                f"valid_start must have shape ({n_positions},), got {valid_start.shape}"
-            )
+    valid_start = _check_valid_start(valid_start, n_positions)
 
     normalized = znorm_rows(windows)
     all_words = sax_words_for_rows(normalized, params.paa_size, params.alphabet_size)
@@ -188,3 +409,52 @@ def discretize(
         series_length=values.size,
         dropped=dropped,
     )
+
+
+def discretize(
+    series: np.ndarray,
+    params: SaxParams,
+    *,
+    numerosity_reduction: bool | str = True,
+    valid_start: np.ndarray | None = None,
+    cache=None,
+) -> SaxRecord:
+    """Discretize *series* into a numerosity-reduced SAX word sequence.
+
+    Parameters
+    ----------
+    series:
+        The raw (concatenated) series.
+    params:
+        SAX parameters (window, PAA, alphabet sizes).
+    numerosity_reduction:
+        Strategy for collapsing consecutive near-duplicate words
+        (paper §3.2.1). ``True`` / ``'exact'`` keeps the first of each
+        run of identical words; ``'mindist'`` additionally collapses
+        words at MINDIST zero from their predecessor (GrammarViz's
+        alternative strategy, coarser); ``False`` / ``'none'`` keeps
+        every window (ablation).
+    valid_start:
+        Optional boolean mask of length ``len(series) - window + 1``;
+        positions marked ``False`` are skipped entirely. RPM uses this
+        to drop windows that span junctions of concatenated training
+        instances (paper §3.2.2 / Figure 4). A skipped position also
+        breaks a numerosity-reduction run, so patterns cannot silently
+        bridge two different training instances.
+    cache:
+        Optional :class:`~repro.runtime.DiscretizationCache`. When
+        given, the z-normalized window matrix and the per-``paa_size``
+        PAA reduction are fetched from (or inserted into) the cache —
+        repeated calls sharing a window size skip straight to the cheap
+        breakpoint lookup. Cached and uncached calls are bitwise
+        identical.
+
+    Returns
+    -------
+    SaxRecord
+    """
+    reduction = _resolve_reduction(numerosity_reduction)
+    values = np.asarray(series, dtype=float)
+    if _IMPLEMENTATION == "legacy":
+        return _discretize_legacy(values, params, reduction, valid_start)
+    return _discretize_vectorized(values, params, reduction, valid_start, cache)

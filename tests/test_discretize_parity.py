@@ -1,0 +1,306 @@
+"""Parity and cache tests for the vectorized discretization pipeline.
+
+The integer-coded path must be *bitwise* interchangeable with the
+legacy string path: same words, same offsets (values and dtype), same
+dropped count, under every numerosity-reduction mode, junction mask and
+degenerate input. The :class:`DiscretizationCache` must never change
+results either — only skip repeated pre-work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import ParamRanges, ParamSelector
+from repro.grammar.inference import find_token_occurrences, find_word_occurrences
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime import DiscretizationCache
+from repro.runtime.executor import ParallelExecutor
+from repro.sax.discretize import (
+    REDUCTIONS,
+    SaxParams,
+    SaxRecord,
+    discretize,
+    discretize_implementation,
+)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    # Module-local override of the session-scoped conftest fixture:
+    # these tests draw many variates, and sharing the session stream
+    # would shift the data every downstream test module sees.
+    return np.random.default_rng(20240806)
+
+
+def _assert_records_equal(a: SaxRecord, b: SaxRecord) -> None:
+    assert a.words == b.words
+    assert a.offsets.dtype == b.offsets.dtype
+    np.testing.assert_array_equal(a.offsets, b.offsets)
+    assert a.dropped == b.dropped
+    assert a.series_length == b.series_length
+    assert a.params == b.params
+
+
+def _random_mask(rng, n: int) -> np.ndarray:
+    mask = rng.random(n) > 0.25
+    if not mask.any():
+        mask[0] = True
+    return mask
+
+
+class TestVectorizedLegacyParity:
+    PARAM_GRID = [
+        SaxParams(8, 4, 4),
+        SaxParams(10, 3, 5),
+        SaxParams(12, 5, 3),  # window not divisible by paa
+        SaxParams(7, 7, 6),
+    ]
+
+    @pytest.mark.parametrize("reduction", REDUCTIONS + (True, False))
+    def test_random_series_all_modes(self, rng, reduction):
+        for params in self.PARAM_GRID:
+            series = rng.standard_normal(90)
+            with discretize_implementation("legacy"):
+                expected = discretize(series, params, numerosity_reduction=reduction)
+            got = discretize(series, params, numerosity_reduction=reduction)
+            _assert_records_equal(got, expected)
+
+    @pytest.mark.parametrize("reduction", REDUCTIONS)
+    def test_junction_masks_break_runs(self, rng, reduction):
+        params = SaxParams(8, 4, 4)
+        for _ in range(10):
+            series = rng.standard_normal(70)
+            mask = _random_mask(rng, series.size - params.window_size + 1)
+            with discretize_implementation("legacy"):
+                expected = discretize(
+                    series, params, numerosity_reduction=reduction, valid_start=mask
+                )
+            got = discretize(
+                series, params, numerosity_reduction=reduction, valid_start=mask
+            )
+            _assert_records_equal(got, expected)
+
+    @pytest.mark.parametrize("reduction", REDUCTIONS)
+    def test_flat_and_repetitive_series(self, reduction):
+        params = SaxParams(8, 4, 4)
+        flat = np.zeros(50)
+        saw = np.tile([0.0, 1.0, 0.0, -1.0], 15).astype(float)
+        steps = np.repeat([0.0, 5.0, 0.0], 20).astype(float)
+        for series in (flat, saw, steps):
+            with discretize_implementation("legacy"):
+                expected = discretize(series, params, numerosity_reduction=reduction)
+            got = discretize(series, params, numerosity_reduction=reduction)
+            _assert_records_equal(got, expected)
+
+    def test_mindist_differs_from_adjacent_heuristic(self):
+        # A strictly drifting code sequence: every word is within
+        # MINDIST-zero of its neighbour but not of the last *kept* one.
+        # Guards against "compare adjacent rows" shortcuts.
+        series = np.linspace(0.0, 1.0, 60) ** 2
+        params = SaxParams(8, 4, 6)
+        with discretize_implementation("legacy"):
+            expected = discretize(series, params, numerosity_reduction="mindist")
+        got = discretize(series, params, numerosity_reduction="mindist")
+        _assert_records_equal(got, expected)
+
+    def test_cache_never_changes_results(self, rng):
+        cache = DiscretizationCache(max_entries=8)
+        for params in self.PARAM_GRID:
+            series = rng.standard_normal(80)
+            for reduction in REDUCTIONS:
+                plain = discretize(series, params, numerosity_reduction=reduction)
+                cached = discretize(
+                    series, params, numerosity_reduction=reduction, cache=cache
+                )
+                again = discretize(
+                    series, params, numerosity_reduction=reduction, cache=cache
+                )
+                _assert_records_equal(cached, plain)
+                _assert_records_equal(again, plain)
+        assert cache.hits > 0
+
+    def test_unknown_implementation_rejected(self):
+        with pytest.raises(ValueError, match="implementation"):
+            with discretize_implementation("cython"):
+                pass
+
+
+class TestTokenIds:
+    def test_token_ids_render_back_to_words(self, rng):
+        record = discretize(rng.standard_normal(90), SaxParams(8, 4, 4))
+        words = record.words
+        assert [record.vocabulary[i] for i in record.token_ids] == words
+        # One id per distinct word, ids dense in [0, vocab).
+        assert sorted(set(record.vocabulary)) == sorted(set(words))
+        assert record.token_ids.dtype == np.int64
+        assert set(np.unique(record.token_ids)) <= set(range(len(record.vocabulary)))
+
+    def test_equal_words_share_an_id(self, rng):
+        record = discretize(
+            rng.standard_normal(90), SaxParams(8, 4, 3), numerosity_reduction=False
+        )
+        ids_by_word: dict[str, set] = {}
+        for word, token in zip(record.words, record.token_ids.tolist()):
+            ids_by_word.setdefault(word, set()).add(token)
+        assert all(len(ids) == 1 for ids in ids_by_word.values())
+
+    def test_words_constructed_record_has_tokens(self):
+        record = SaxRecord(
+            words=["ab", "cd", "ab"],
+            offsets=np.array([0, 1, 2]),
+            params=SaxParams(4, 2, 4),
+            series_length=7,
+        )
+        assert record.token_ids.tolist() == [0, 1, 0]
+        assert record.vocabulary == ("ab", "cd")
+
+    def test_find_token_occurrences_matches_scalar_search(self, rng):
+        for _ in range(20):
+            ids = rng.integers(0, 4, size=30)
+            k = int(rng.integers(1, 4))
+            start = int(rng.integers(0, ids.size - k))
+            needle = tuple(ids[start : start + k].tolist())
+            expected = find_word_occurrences(ids.tolist(), needle)
+            assert find_token_occurrences(ids, needle) == expected
+        assert find_token_occurrences(np.array([1, 2]), ()) == []
+        assert find_token_occurrences(np.array([1]), (1, 2)) == []
+
+
+class TestDiscretizationCache:
+    def test_hit_and_miss_counters(self, rng):
+        series = rng.standard_normal(60)
+        cache = DiscretizationCache(max_entries=4)
+        first = cache.windows(series, 8)
+        assert (cache.hits, cache.misses) == (0, 1)
+        second = cache.windows(series, 8)
+        assert second is first
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.windows(series, 12)
+        assert (cache.hits, cache.misses) == (1, 2)
+
+    def test_lru_eviction(self, rng):
+        series = rng.standard_normal(60)
+        cache = DiscretizationCache(max_entries=2)
+        a = cache.windows(series, 4)
+        cache.windows(series, 5)
+        cache.windows(series, 6)  # evicts window-4 entry (LRU)
+        assert cache.evictions == 1
+        assert len(cache) == 2
+        assert cache.windows(series, 5) is not None  # still cached
+        assert cache.hits == 1
+        refetched = cache.windows(series, 4)  # rebuilt, not the old object
+        assert refetched is not a
+
+    def test_recency_updates_on_hit(self, rng):
+        series = rng.standard_normal(60)
+        cache = DiscretizationCache(max_entries=2)
+        a = cache.windows(series, 4)
+        cache.windows(series, 5)
+        assert cache.windows(series, 4) is a  # touch 4 → 5 is now LRU
+        cache.windows(series, 6)
+        assert cache.windows(series, 4) is a  # survived the eviction
+        assert cache.evictions == 1
+
+    def test_different_data_never_aliases(self, rng):
+        series = rng.standard_normal(60)
+        other = series.copy()
+        other[0] += 1.0
+        cache = DiscretizationCache(max_entries=8)
+        cache.windows(series, 8)
+        cache.windows(other, 8)
+        assert cache.misses == 2 and cache.hits == 0
+        assert DiscretizationCache.token(series) != DiscretizationCache.token(other)
+        assert DiscretizationCache.token(series) == DiscretizationCache.token(
+            series.copy()
+        )
+
+    def test_zero_size_disables_caching(self, rng):
+        series = rng.standard_normal(40)
+        cache = DiscretizationCache(max_entries=0)
+        a = cache.windows(series, 5)
+        b = cache.windows(series, 5)
+        assert a is not b
+        assert len(cache) == 0 and cache.misses == 2
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            DiscretizationCache(max_entries=-1)
+
+    def test_paa_memoized_per_entry(self, rng):
+        series = rng.standard_normal(60)
+        cache = DiscretizationCache(max_entries=4)
+        entry = cache.windows(series, 10)
+        first = entry.paa(5)
+        assert entry.paa(5) is first
+        entry.paa(4)
+        assert entry.n_paa_sizes == 2
+
+    def test_metrics_published(self, rng):
+        metrics = MetricsRegistry()
+        series = rng.standard_normal(60)
+        cache = DiscretizationCache(max_entries=1, metrics=metrics)
+        cache.windows(series, 8)
+        cache.windows(series, 8)
+        cache.windows(series, 9)  # evicts window-8
+        assert metrics.counter_value("discretize.cache.hits") == 1
+        assert metrics.counter_value("discretize.cache.misses") == 2
+        assert metrics.counter_value("discretize.cache.evictions") == 1
+
+
+class TestParamSelectorParallelEquivalence:
+    def _dataset(self):
+        rng = np.random.default_rng(3)
+        n, m = 20, 50
+        X = rng.standard_normal((n, m))
+        y = np.repeat([0, 1], n // 2)
+        X[y == 1] += np.sin(np.linspace(0, 6, m))
+        return X, y
+
+    def _selector(self, X, y, executor):
+        return ParamSelector(
+            X,
+            y,
+            ranges=ParamRanges(window=(8, 26), paa=(3, 7), alphabet=(3, 6)),
+            n_splits=2,
+            cv_folds=3,
+            seed=0,
+            executor=executor,
+        )
+
+    def test_parallel_direct_matches_serial(self):
+        X, y = self._dataset()
+        serial = self._selector(X, y, None)
+        best_serial = serial.select_direct(max_evaluations=20, max_iterations=8)
+        with ParallelExecutor(4, "thread") as executor:
+            parallel = self._selector(X, y, executor)
+            best_parallel = parallel.select_direct(max_evaluations=20, max_iterations=8)
+        assert best_serial == best_parallel
+        # Deterministic cache-merge: same triples, same insertion order.
+        assert list(serial._cache.keys()) == list(parallel._cache.keys())
+        for key, evaluation in serial._cache.items():
+            other = parallel._cache[key]
+            assert evaluation.pruned == other.pruned
+            assert evaluation.f1_by_class == other.f1_by_class
+        assert serial._best == parallel._best
+
+    def test_running_best_matches_full_rescan(self):
+        X, y = self._dataset()
+        selector = self._selector(X, y, None)
+        selector.select_direct(max_evaluations=15, max_iterations=6)
+        for label in selector.classes_:
+            best_key, best_f1 = None, -1.0
+            for key, evaluation in selector._cache.items():
+                if evaluation.pruned:
+                    continue
+                f1 = evaluation.f1_by_class.get(label, 0.0)
+                if f1 > best_f1:
+                    best_f1, best_key = f1, key
+            assert selector._best_key_for(label, fallback=None) == (
+                best_key
+                if best_key is not None
+                else selector.ranges.clip(
+                    (selector.ranges.window[0] + selector.ranges.window[1]) // 2, 6, 5
+                )
+            )

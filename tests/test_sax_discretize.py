@@ -43,11 +43,19 @@ class TestSlidingWindows:
         with pytest.raises(ValueError, match="exceeds"):
             sliding_windows(np.arange(3.0), 5)
 
-    def test_returns_copy(self):
+    def test_returns_readonly_view_by_default(self):
         series = np.arange(6.0)
         out = sliding_windows(series, 3)
+        with pytest.raises(ValueError):
+            out[0, 0] = 99
+        assert np.shares_memory(out, series)
+
+    def test_copy_opt_in_is_writable(self):
+        series = np.arange(6.0)
+        out = sliding_windows(series, 3, copy=True)
         out[0, 0] = 99
         assert series[0] == 0.0
+        assert not np.shares_memory(out, series)
 
 
 class TestDiscretize:
