@@ -55,6 +55,7 @@ from .obs import (
     write_jsonl,
 )
 from .runtime.cache import DEFAULT_CACHE_SIZE
+from .runtime.kernel import KERNEL_BACKENDS
 from .runtime.discretize_cache import DEFAULT_DISCRETIZE_CACHE_SIZE
 from .sax.discretize import REDUCTIONS, SaxParams
 from .serve import CompiledModel, PredictionService
@@ -136,6 +137,7 @@ def _build_rpm(args, tracer: Tracer | None = None) -> RPMClassifier:
     runtime = dict(
         n_jobs=args.jobs,
         parallel_backend=args.parallel_backend,
+        kernel_backend=args.kernel_backend,
         cache_size=args.cache_size,
         discretize_cache_size=args.discretize_cache_size,
         numerosity_reduction=args.numerosity,
@@ -229,6 +231,7 @@ def _build_service(args, tracer: Tracer | None = None) -> PredictionService:
         args.model,
         n_jobs=args.jobs,
         parallel_backend=args.parallel_backend,
+        kernel_backend=args.kernel_backend,
         trace=tracer,
     )
     return PredictionService(
@@ -408,6 +411,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "identical to serial")
         p.add_argument("--parallel-backend", choices=["serial", "thread", "process"],
                        default="thread", help="parallel execution backend")
+        p.add_argument("--kernel-backend", choices=list(KERNEL_BACKENDS),
+                       default="auto",
+                       help="distance-kernel implementation: 'matvec' is the "
+                            "exact per-pattern path, 'fft' batches patterns "
+                            "through one series spectrum, 'auto' picks FFT "
+                            "only above the calibrated crossover")
         p.add_argument("--cache-size", type=_positive_int, default=DEFAULT_CACHE_SIZE,
                        help="sliding-window statistics cache entries (must be "
                             "positive; the library-level WindowStatsCache(0) "
@@ -475,6 +484,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(-1 = all CPUs)")
         p.add_argument("--parallel-backend", choices=["serial", "thread", "process"],
                        default="thread", help="parallel execution backend")
+        p.add_argument("--kernel-backend", choices=list(KERNEL_BACKENDS),
+                       default="auto",
+                       help="distance-kernel implementation for the compiled "
+                            "bucket transform ('auto' = FFT above the "
+                            "calibrated crossover, exact mat-vec below)")
         p.add_argument("--trace", action="store_true",
                        help="print a per-stage span tree (wall times) after the run")
         p.add_argument("--metrics-out", metavar="PATH", default=None,

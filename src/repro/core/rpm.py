@@ -34,6 +34,7 @@ from ..runtime.discretize_cache import (
     DiscretizationCache,
 )
 from ..runtime.executor import BACKENDS, ParallelExecutor
+from ..runtime.kernel import KERNEL_BACKENDS
 from ..sax.discretize import SaxParams
 from ..sax.znorm import znorm
 from .candidates import find_candidates
@@ -86,6 +87,12 @@ class RPMClassifier(BaseEstimator):
         are bitwise identical for every value — see ``docs/runtime.md``.
     parallel_backend:
         ``'thread'`` (default), ``'process'`` or ``'serial'``.
+    kernel_backend:
+        Distance-kernel cross-correlation implementation:
+        ``'auto'`` (default — FFT above the calibrated crossover,
+        exact mat-vec below it), ``'fft'``, or ``'matvec'``. See
+        :func:`~repro.runtime.kernel.resolve_backend` and
+        ``docs/runtime.md``.
     cache_size:
         Entries in the sliding-window statistics LRU cache shared by
         this classifier's transforms (``0`` disables caching).
@@ -128,6 +135,7 @@ class RPMClassifier(BaseEstimator):
         seed: int = 0,
         n_jobs: int = 1,
         parallel_backend: str = "thread",
+        kernel_backend: str = "auto",
         cache_size: int = DEFAULT_CACHE_SIZE,
         discretize_cache_size: int = DEFAULT_DISCRETIZE_CACHE_SIZE,
         trace=None,
@@ -137,6 +145,10 @@ class RPMClassifier(BaseEstimator):
         if parallel_backend not in BACKENDS:
             raise ValueError(
                 f"parallel_backend must be one of {BACKENDS}, got {parallel_backend!r}"
+            )
+        if kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"kernel_backend must be one of {KERNEL_BACKENDS}, got {kernel_backend!r}"
             )
         self.sax_params = sax_params
         self.param_search = param_search
@@ -155,6 +167,7 @@ class RPMClassifier(BaseEstimator):
         self.seed = seed
         self.n_jobs = n_jobs
         self.parallel_backend = parallel_backend
+        self.kernel_backend = kernel_backend
         self.cache_size = cache_size
         self.discretize_cache_size = discretize_cache_size
         # ``trace`` is kept verbatim for get_params()/clone(); the
@@ -215,6 +228,7 @@ class RPMClassifier(BaseEstimator):
                     executor=executor,
                     cache=self._stats_cache,
                     tracer=tracer,
+                    kernel_backend=self.kernel_backend,
                 )
             self.patterns_ = self.selection_.patterns
             self._train_labels = y
@@ -313,6 +327,7 @@ class RPMClassifier(BaseEstimator):
                 executor=executor,
                 cache=self._stats_cache,
                 tracer=self.tracer,
+                kernel_backend=self.kernel_backend,
             )
 
     def predict(self, X: np.ndarray) -> np.ndarray:

@@ -134,6 +134,7 @@ def find_distinct(
     executor=None,
     cache=None,
     tracer=NOOP,
+    kernel_backend: str = "auto",
 ) -> SelectionResult:
     """Algorithm 2 end to end.
 
@@ -171,6 +172,7 @@ def find_distinct(
             executor=executor,
             cache=cache,
             tracer=tracer,
+            kernel_backend=kernel_backend,
         )
         with tracer.span("cfs") as cfs_span:
             result = cfs_select(features, y)

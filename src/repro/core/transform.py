@@ -62,6 +62,7 @@ def pattern_feature_row(
     *,
     rotation_invariant: bool = False,
     cache: WindowStatsCache | None = None,
+    kernel_backend: str = "auto",
 ) -> np.ndarray:
     """Closest-match distances of one series to every pattern.
 
@@ -84,6 +85,7 @@ def pattern_feature_row(
         patterns,
         rotation_invariant=rotation_invariant,
         cache=cache,
+        kernel_backend=kernel_backend,
     )[0]
 
 
@@ -94,16 +96,19 @@ def _feature_block(args) -> np.ndarray:
     backend ships this worker to other interpreters where the shared
     cache does not exist.
     """
-    values_list, X, X_rot, cache, token, token_rot = args
+    values_list, X, X_rot, cache, token, token_rot, backend = args
     if cache is None:
         cache = WindowStatsCache(max(4, 2 * len(values_list)))
         token = token_rot = None
     out = np.empty((X.shape[0], len(values_list)))
     for k, values in enumerate(values_list):
-        dist = sliding_best_distances(values, X, cache=cache, token=token)
+        dist = sliding_best_distances(values, X, cache=cache, token=token, backend=backend)
         if X_rot is not None:
             dist = np.minimum(
-                dist, sliding_best_distances(values, X_rot, cache=cache, token=token_rot)
+                dist,
+                sliding_best_distances(
+                    values, X_rot, cache=cache, token=token_rot, backend=backend
+                ),
             )
         out[:, k] = dist
     return out
@@ -117,6 +122,7 @@ def pattern_features(
     executor=None,
     cache: WindowStatsCache | None = None,
     tracer=NOOP,
+    kernel_backend: str = "auto",
 ) -> np.ndarray:
     """Transform ``(n, m)`` series into ``(n, K)`` pattern distances.
 
@@ -126,7 +132,12 @@ def pattern_features(
     :class:`~repro.runtime.executor.ParallelExecutor`) fans the columns
     out across workers; ``cache`` overrides the process-wide default
     statistics cache. ``tracer`` records the whole call as one
-    ``transform`` span. Output is independent of all three choices.
+    ``transform`` span. ``kernel_backend`` selects the distance-kernel
+    cross-correlation implementation (``auto``/``fft``/``matvec`` —
+    see :func:`~repro.runtime.kernel.resolve_backend`); ``auto`` keeps
+    the exact mat-vec path below the FFT crossover, so output is
+    independent of executor and cache choices and, below the crossover,
+    of the backend as well.
     """
     X = np.asarray(X, dtype=float)
     if X.ndim != 2:
@@ -150,12 +161,14 @@ def pattern_features(
             shared_cache = token = token_rot = None
 
         if serial:
-            return _feature_block((values_list, X, X_rot, shared_cache, token, token_rot))
+            return _feature_block(
+                (values_list, X, X_rot, shared_cache, token, token_rot, kernel_backend)
+            )
 
         n_chunks = min(len(values_list), executor.n_jobs * 4)
         bounds = np.linspace(0, len(values_list), n_chunks + 1).astype(int)
         jobs = [
-            (values_list[lo:hi], X, X_rot, shared_cache, token, token_rot)
+            (values_list[lo:hi], X, X_rot, shared_cache, token, token_rot, kernel_backend)
             for lo, hi in zip(bounds[:-1], bounds[1:])
             if hi > lo
         ]

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..runtime.kernel import SlidingWindowStats, resample_pattern
+from ..runtime.kernel import SlidingWindowStats, resample_pattern, tie_break_argmin
 from ..sax.znorm import NORM_THRESHOLD, is_flat, znorm
 from .euclidean import euclidean_early_abandon
 
@@ -134,9 +134,15 @@ def batch_best_distances(pattern: np.ndarray, X: np.ndarray) -> np.ndarray:
 
 
 def best_match(pattern: np.ndarray, series: np.ndarray) -> Match:
-    """The paper's *closest match*: best alignment of pattern in series."""
+    """The paper's *closest match*: best alignment of pattern in series.
+
+    Positions tie-break low: every alignment within the shared
+    :func:`~repro.runtime.kernel.tie_break_argmin` tolerance of the
+    minimum counts as tied and the smallest index wins, so the reported
+    position is stable across the mat-vec and FFT kernel backends.
+    """
     profile = distance_profile(pattern, series)
-    position = int(np.argmin(profile))
+    position = tie_break_argmin(profile)
     length = min(np.asarray(pattern).size, np.asarray(series).size)
     return Match(distance=float(profile[position]), position=position, length=length)
 

@@ -12,7 +12,9 @@ window length. This package factors that out:
 ``kernel``
     :class:`SlidingWindowStats` — per-(series matrix, window length)
     rolling statistics (cumulative sums) that turn each pattern's
-    distance profile into a single mat-vec.
+    distance profile into a single mat-vec, or — through the batched
+    MASS-style FFT backend — one shared series spectrum plus
+    O(n log n) per pattern (``resolve_backend`` picks per workload).
 ``cache``
     :class:`WindowStatsCache` — LRU cache of kernel statistics keyed on
     (series fingerprint, window length), so every pattern of a given
@@ -36,18 +38,30 @@ from .discretize_cache import (
     DiscretizationEntry,
 )
 from .executor import ParallelExecutor, resolve_n_jobs
-from .kernel import SlidingWindowStats, resample_pattern, sliding_best_distances
+from .kernel import (
+    KERNEL_BACKENDS,
+    SlidingWindowStats,
+    resample_pattern,
+    resolve_backend,
+    sliding_best_distances,
+    tie_break_argmin,
+    tie_break_argmin_rows,
+)
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_DISCRETIZE_CACHE_SIZE",
     "DiscretizationCache",
     "DiscretizationEntry",
+    "KERNEL_BACKENDS",
     "ParallelExecutor",
     "SlidingWindowStats",
     "WindowStatsCache",
     "default_cache",
     "resample_pattern",
+    "resolve_backend",
     "resolve_n_jobs",
     "sliding_best_distances",
+    "tie_break_argmin",
+    "tie_break_argmin_rows",
 ]

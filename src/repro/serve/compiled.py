@@ -30,6 +30,7 @@ from ..core.transform import pattern_values, rotate_halves
 from ..obs import resolve_tracer
 from ..runtime.executor import BACKENDS, ParallelExecutor
 from ..runtime.kernel import (
+    KERNEL_BACKENDS,
     PrenormalizedPattern,
     SlidingWindowStats,
     prenormalize_pattern,
@@ -58,20 +59,22 @@ def _bucket_block(args) -> tuple[list[int], np.ndarray]:
     """Feature columns of one bucket (module-level: picklable worker).
 
     Builds the bucket's sliding-window statistics for this batch and
-    runs every precompiled pattern of that length through them. The
-    constructor and the per-pattern arithmetic are exactly those of the
-    training transform, so scheduling never changes a bit.
+    runs the whole precompiled per-length bucket through them in one
+    batched kernel call — the bucket's patterns share one statistics
+    build and, on the FFT backend, one series spectrum. The mat-vec
+    backend's arithmetic is exactly the training transform's, so
+    scheduling never changes a bit; ``auto`` resolves per (series
+    length × bucket size) workload.
     """
-    bucket, X, X_rot = args
+    bucket, X, X_rot, backend = args
     stats = SlidingWindowStats(X, bucket.length)
-    stats_rot = SlidingWindowStats(X_rot, bucket.length) if X_rot is not None else None
-    block = np.empty((X.shape[0], len(bucket.cols)))
-    for j, pre in enumerate(bucket.pres):
-        dist = stats.best_distances_prenormalized(pre)
-        if stats_rot is not None:
-            dist = np.minimum(dist, stats_rot.best_distances_prenormalized(pre))
-        block[:, j] = dist
-    return bucket.cols, block
+    dists = stats.batch_best_distances_prenormalized(bucket.pres, backend=backend)
+    if X_rot is not None:
+        stats_rot = SlidingWindowStats(X_rot, bucket.length)
+        dists = np.minimum(
+            dists, stats_rot.batch_best_distances_prenormalized(bucket.pres, backend=backend)
+        )
+    return bucket.cols, dists.T
 
 
 class CompiledModel:
@@ -99,6 +102,12 @@ class CompiledModel:
         process must not pay pool start-up per request. Call
         :meth:`close` (or use the model as a context manager) to tear
         it down.
+    kernel_backend:
+        Distance-kernel implementation per bucket: ``'auto'`` (default
+        — batched FFT above the calibrated crossover, exact mat-vec
+        below it), ``'fft'``, or ``'matvec'``. Below the crossover
+        ``'auto'`` is the bitwise-exact training arithmetic; above it
+        distances agree to ~1e-9 relative (see ``docs/runtime.md``).
     trace:
         Observability knob (same contract as ``RPMClassifier(trace=)``).
     """
@@ -113,15 +122,21 @@ class CompiledModel:
         series_length: int | None = None,
         n_jobs: int = 1,
         parallel_backend: str = "thread",
+        kernel_backend: str = "auto",
         trace=None,
     ) -> None:
         if parallel_backend not in BACKENDS:
             raise ValueError(
                 f"parallel_backend must be one of {BACKENDS}, got {parallel_backend!r}"
             )
+        if kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"kernel_backend must be one of {KERNEL_BACKENDS}, got {kernel_backend!r}"
+            )
         if not patterns:
             raise ValueError("CompiledModel needs a non-empty pattern bank")
         self.classifier = classifier
+        self.kernel_backend = kernel_backend
         self.rotation_invariant = bool(rotation_invariant)
         self.classes = None if classes is None else np.asarray(classes)
         self.series_length = None if series_length is None else int(series_length)
@@ -210,7 +225,7 @@ class CompiledModel:
             span.add("transform.patterns", self.n_patterns)
             plan = self._plan_for(X.shape[1])
             X_rot = rotate_halves(X) if self.rotation_invariant else None
-            jobs = [(bucket, X, X_rot) for bucket in plan]
+            jobs = [(bucket, X, X_rot, self.kernel_backend) for bucket in plan]
             if self._executor.backend == "serial" or len(jobs) == 1:
                 blocks = [_bucket_block(job) for job in jobs]
             else:
@@ -246,5 +261,6 @@ class CompiledModel:
         )
         return (
             f"CompiledModel({self.n_patterns} patterns, "
-            f"buckets [{lengths}], rotation_invariant={self.rotation_invariant})"
+            f"buckets [{lengths}], rotation_invariant={self.rotation_invariant}, "
+            f"kernel_backend={self.kernel_backend})"
         )

@@ -1,0 +1,129 @@
+"""Shared distance oracles and tolerance-aware assert helpers.
+
+The optimized kernels (mat-vec and FFT alike) are pinned against the
+one implementation slow enough to be obviously correct: z-normalize
+every window explicitly, subtract, square, sum. Every distance-kernel
+test in the suite compares against *this* module so the tolerance
+model lives in exactly one place:
+
+* mat-vec vs naive — the rolling-statistics identity introduces
+  cancellation noise; distances agree to ``~1e-8`` absolute on
+  well-conditioned data.
+* FFT vs mat-vec — spectral round-trip noise is ``~1e-13`` on the
+  squared distance; after the square root it is amplified near zero,
+  so the shared tolerance is ``rtol=1e-9`` with an absolute floor of
+  ``atol=1e-6`` (see ``docs/runtime.md``).
+
+Argmin positions are compared through the kernels' own tie-break
+contract (:func:`repro.runtime.kernel.tie_break_argmin_rows`): every
+alignment within tolerance of the row minimum is a tie and the lowest
+index wins, so positions are *exactly* equal across backends even when
+the distances differ in the last bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.kernel import resample_pattern, tie_break_argmin_rows
+from repro.sax.znorm import znorm
+
+__all__ = [
+    "DISTANCE_RTOL",
+    "DISTANCE_ATOL",
+    "naive_distance_profile",
+    "naive_profiles",
+    "naive_best_distances",
+    "assert_profiles_close",
+    "assert_argmin_equal",
+]
+
+#: Shared tolerance model for cross-backend distance comparisons.
+DISTANCE_RTOL = 1e-9
+DISTANCE_ATOL = 1e-6
+
+
+def naive_distance_profile(pattern: np.ndarray, series: np.ndarray) -> np.ndarray:
+    """O(m·L) reference profile: explicit z-norm per window, no identities.
+
+    Mirrors the public contract of ``distance_profile``: a pattern
+    longer than the series is linearly resampled down first (yielding a
+    single-alignment profile), and flat windows/patterns z-normalize to
+    zeros exactly as :func:`repro.sax.znorm.znorm` defines.
+    """
+    pattern = np.asarray(pattern, dtype=float)
+    series = np.asarray(series, dtype=float)
+    if pattern.size > series.size:
+        pattern = resample_pattern(pattern, series.size)
+    q = znorm(pattern)
+    n = pattern.size
+    out = np.empty(series.size - n + 1)
+    for pos in range(out.size):
+        w = znorm(series[pos : pos + n])
+        out[pos] = float(np.sqrt(np.sum((w - q) ** 2)))
+    return out
+
+
+def naive_profiles(pattern: np.ndarray, X: np.ndarray) -> np.ndarray:
+    """Stacked :func:`naive_distance_profile` over every row of ``X``."""
+    X = np.asarray(X, dtype=float)
+    return np.stack([naive_distance_profile(pattern, row) for row in X])
+
+
+def naive_best_distances(
+    pattern: np.ndarray, X: np.ndarray, *, rotation_invariant: bool = False
+) -> np.ndarray:
+    """Closest-match distance of one pattern to every row, the slow way."""
+    X = np.asarray(X, dtype=float)
+    best = naive_profiles(pattern, X).min(axis=1)
+    if rotation_invariant:
+        half = X.shape[1] // 2
+        X_rot = np.column_stack([X[:, half:], X[:, :half]])
+        best = np.minimum(best, naive_profiles(pattern, X_rot).min(axis=1))
+    return best
+
+
+def assert_profiles_close(
+    actual: np.ndarray,
+    expected: np.ndarray,
+    *,
+    rtol: float = DISTANCE_RTOL,
+    atol: float = DISTANCE_ATOL,
+    err_msg: str = "",
+) -> None:
+    """Distances agree within the shared tolerance model, NaN-free.
+
+    Shapes must match exactly; both sides must be finite and
+    non-negative (a distance can never be otherwise — catching a NaN
+    here beats catching it three layers up in a classifier).
+    """
+    actual = np.asarray(actual)
+    expected = np.asarray(expected)
+    assert actual.shape == expected.shape, (
+        f"profile shape mismatch: {actual.shape} vs {expected.shape}"
+        + (f" ({err_msg})" if err_msg else "")
+    )
+    assert np.all(np.isfinite(actual)), f"non-finite distances in actual {err_msg}"
+    assert np.all(np.isfinite(expected)), f"non-finite distances in expected {err_msg}"
+    assert np.all(actual >= 0.0), f"negative distances in actual {err_msg}"
+    np.testing.assert_allclose(actual, expected, rtol=rtol, atol=atol, err_msg=err_msg)
+
+
+def assert_argmin_equal(
+    actual_profiles: np.ndarray,
+    expected_profiles: np.ndarray,
+    *,
+    err_msg: str = "",
+) -> None:
+    """Best-match positions agree under the shared tie-break contract.
+
+    Both profile matrices are reduced with
+    :func:`~repro.runtime.kernel.tie_break_argmin_rows` — the exact
+    reduction every backend and ``distance.best_match`` use — and the
+    resulting index vectors must be *identical*. This is the strong
+    form of cross-backend agreement: not just close distances, but the
+    same chosen alignment.
+    """
+    a = tie_break_argmin_rows(np.atleast_2d(np.asarray(actual_profiles)))
+    b = tie_break_argmin_rows(np.atleast_2d(np.asarray(expected_profiles)))
+    np.testing.assert_array_equal(a, b, err_msg=err_msg or "argmin positions diverged")

@@ -1,9 +1,12 @@
 """Sliding-window kernel vs the naive closest-match oracle, and cache behavior.
 
-:class:`SlidingWindowStats` must reproduce the scalar early-abandoning
-``best_match_scalar`` reference (and stay bitwise identical to
+:class:`SlidingWindowStats` must reproduce the explicit z-norm-per-
+window reference in :mod:`tests.oracles` and the scalar early-
+abandoning ``best_match_scalar`` (and stay bitwise identical to
 ``batch_distance_profiles``, which now delegates to it) on random data,
 degenerate flat windows, and over-long patterns — and never emit NaNs.
+The tolerance model lives in the oracles module, shared with the FFT
+property suite.
 """
 
 from __future__ import annotations
@@ -23,6 +26,12 @@ from repro.runtime import (
     resample_pattern,
     sliding_best_distances,
 )
+from tests.oracles import (
+    assert_argmin_equal,
+    assert_profiles_close,
+    naive_best_distances,
+    naive_profiles,
+)
 
 
 @pytest.fixture()
@@ -41,6 +50,9 @@ class TestKernelVsOracle:
             pattern = rng.standard_normal(length)
             profiles = stats.profiles(pattern)
             assert profiles.shape == (7, 50 - length + 1)
+            expected = naive_profiles(pattern, X)
+            assert_profiles_close(profiles, expected, err_msg=f"length={length}")
+            assert_argmin_equal(profiles, expected)
             for i in range(X.shape[0]):
                 np.testing.assert_allclose(
                     profiles[i], distance_profile(pattern, X[i]), atol=1e-8
@@ -51,6 +63,7 @@ class TestKernelVsOracle:
         pattern = rng.standard_normal(9)
         stats = SlidingWindowStats(X, 9)
         best = stats.best_distances(pattern)
+        assert_profiles_close(best, naive_best_distances(pattern, X))
         for i in range(X.shape[0]):
             oracle = best_match_scalar(pattern, X[i]).distance
             assert best[i] == pytest.approx(oracle, abs=1e-6)
@@ -68,6 +81,7 @@ class TestKernelVsOracle:
         profiles = stats.profiles(pattern)
         # Flat window vs z-normed pattern: dist² = Σ q² = L.
         np.testing.assert_allclose(profiles, np.sqrt(6.0))
+        assert_profiles_close(profiles, naive_profiles(pattern, X))
 
     def test_flat_pattern_against_flat_and_nonflat(self, rng):
         flat_rows = np.full((2, 15), 2.0)
@@ -84,6 +98,7 @@ class TestKernelVsOracle:
         via_helper = sliding_best_distances(long_pattern, X)
         via_batch = batch_best_distances(long_pattern, X)
         assert np.array_equal(via_helper, via_batch)
+        assert_profiles_close(via_helper, naive_best_distances(long_pattern, X))
         resampled = resample_pattern(long_pattern, 12)
         assert resampled.size == 12
         # Endpoints survive linear resampling.

@@ -1,10 +1,12 @@
-"""Row/batch transform parity.
+"""Row/batch transform parity, and both against the naive oracle.
 
 ``pattern_feature_row`` must produce exactly the row the batch
 ``pattern_features`` transform would — it now delegates structurally,
 but these tests pin the contract (an earlier implementation recomputed
 the profile through a separate code path, which could drift on flat
-windows and resampled patterns).
+windows and resampled patterns). The batch transform itself is pinned
+against the explicit z-norm-per-window reference in
+:mod:`tests.oracles`, on both kernel backends.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ import pytest
 from repro.core.transform import pattern_feature_row, pattern_features
 from repro.runtime.cache import WindowStatsCache
 from repro.sax.znorm import znorm
+from tests.oracles import assert_profiles_close, naive_best_distances
 
 
 @pytest.fixture(scope="module")
@@ -84,6 +87,33 @@ class TestRowBatchParity:
                 self.values = values
 
         _assert_row_parity(series_matrix, [Holder(p) for p in patterns])
+
+
+class TestBatchVsOracle:
+    def test_features_match_naive_oracle(self, series_matrix, patterns):
+        feats = pattern_features(series_matrix, patterns)
+        for j, p in enumerate(patterns):
+            assert_profiles_close(
+                feats[:, j], naive_best_distances(p, series_matrix), err_msg=f"col {j}"
+            )
+
+    def test_rotation_invariant_matches_naive(self, series_matrix, patterns):
+        feats = pattern_features(series_matrix, patterns, rotation_invariant=True)
+        for j, p in enumerate(patterns):
+            assert_profiles_close(
+                feats[:, j],
+                naive_best_distances(p, series_matrix, rotation_invariant=True),
+                err_msg=f"col {j}",
+            )
+
+    def test_fft_backend_matches_matvec_and_naive(self, series_matrix, patterns):
+        mat = pattern_features(series_matrix, patterns, kernel_backend="matvec")
+        fft = pattern_features(series_matrix, patterns, kernel_backend="fft")
+        assert_profiles_close(fft, mat)
+        for j, p in enumerate(patterns):
+            assert_profiles_close(
+                fft[:, j], naive_best_distances(p, series_matrix), err_msg=f"col {j}"
+            )
 
 
 class TestRowValidation:
