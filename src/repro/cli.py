@@ -58,7 +58,7 @@ from .runtime.cache import DEFAULT_CACHE_SIZE
 from .runtime.kernel import KERNEL_BACKENDS
 from .runtime.discretize_cache import DEFAULT_DISCRETIZE_CACHE_SIZE
 from .sax.discretize import REDUCTIONS, SaxParams
-from .serve import CompiledModel, PredictionService
+from .serve import CompiledModel, PredictionService, ShardedPredictionService
 
 BASELINES = {
     "NN-ED": NearestNeighborED,
@@ -225,15 +225,38 @@ def cmd_classify(args) -> int:
     return 0
 
 
-def _build_service(args, tracer: Tracer | None = None) -> PredictionService:
-    """Compiled model + micro-batching service from the serve flags."""
+def _build_service(args, tracer: Tracer | None = None):
+    """Compiled model + serving tier from the serve flags.
+
+    ``--shards 0`` (default) builds the in-process
+    :class:`PredictionService`; ``--shards N`` builds the sharded
+    multi-process tier with its shared-memory pattern bank and
+    admission control. Both expose the same client API, so callers
+    never branch.
+    """
+    shards = getattr(args, "shards", 0)
     model = CompiledModel.load(
         args.model,
-        n_jobs=args.jobs,
+        n_jobs=1 if shards else args.jobs,
         parallel_backend=args.parallel_backend,
         kernel_backend=args.kernel_backend,
         trace=tracer,
     )
+    if shards:
+        return ShardedPredictionService(
+            model,
+            n_shards=shards,
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            default_deadline_ms=args.deadline_ms,
+            warmup=not args.no_warmup,
+            admission_budget_ms=args.admission_budget_ms,
+            max_queue_per_shard=args.max_queue,
+            slow_ms=args.slow_ms,
+            flight_capacity=args.flight_size,
+            admin_port=getattr(args, "http_port", None),
+            trace=tracer,
+        )
     return PredictionService(
         model,
         max_batch=args.max_batch,
@@ -481,7 +504,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 disables capture)")
         p.add_argument("--jobs", type=_jobs_count, default=1,
                        help="parallel workers for the compiled transform "
-                            "(-1 = all CPUs)")
+                            "(-1 = all CPUs; ignored with --shards)")
+        p.add_argument("--shards", type=_nonnegative_int, default=0,
+                       help="worker processes for the sharded serving tier "
+                            "(0 = single-process service)")
+        p.add_argument("--admission-budget-ms", type=float, default=None,
+                       help="shed requests with a typed OVERLOAD result when "
+                            "a shard's estimated queue wait exceeds this "
+                            "budget (sharded tier only)")
+        p.add_argument("--max-queue", type=_positive_int, default=256,
+                       help="hard cap on in-flight requests per shard; at "
+                            "the cap, submits shed with OVERLOAD "
+                            "(sharded tier only)")
         p.add_argument("--parallel-backend", choices=["serial", "thread", "process"],
                        default="thread", help="parallel execution backend")
         p.add_argument("--kernel-backend", choices=list(KERNEL_BACKENDS),

@@ -58,7 +58,33 @@ _HELP = {
     "serve.queue_wait_seconds": "Submit-to-batch-pickup wait.",
     "serve.latency_seconds": "Submit-to-result latency per request.",
     "serve.queue_depth": "Requests currently queued.",
+    "serve.overload": "Requests shed by admission control.",
+    "serve.worker_recycles": "Graceful shard worker recycles.",
+    "serve.worker_deaths": "Shard workers found dead and respawned.",
+    "serve.redispatched": "Accepted requests re-dispatched after a worker loss.",
 }
+
+_LABELED = re.compile(r"^(?P<base>[^\[\]]+)\[(?P<labels>[^\[\]]+)\]$")
+
+
+def _split_labels(name: str) -> tuple[str, str]:
+    """Split ``serve.requests[shard=0]`` into base name and label pairs.
+
+    Registries are flat string→value maps, so dimensional series encode
+    their labels in the name with a bracket suffix
+    (``name[key=value,key2=value2]`` — see
+    :func:`repro.serve.shard.shard_metric`). The exporter turns the
+    suffix back into Prometheus labels (``{shard="0"}``); unlabeled
+    names pass through with an empty label string.
+    """
+    match = _LABELED.match(name)
+    if match is None:
+        return name, ""
+    pairs = []
+    for part in match.group("labels").split(","):
+        key, _, value = part.partition("=")
+        pairs.append(f'{_metric_name(key.strip())}="{value.strip()}"')
+    return match.group("base"), ",".join(pairs)
 
 
 def _metric_name(name: str) -> str:
@@ -93,28 +119,48 @@ def _header(lines: list[str], source_name: str, metric: str, kind: str) -> None:
 
 
 def to_prometheus(source) -> str:
-    """Prometheus text exposition of a registry or snapshot dict."""
+    """Prometheus text exposition of a registry or snapshot dict.
+
+    Bracket-labeled registry names (``serve.requests[shard=0]``) are
+    exported as labeled samples of one base metric
+    (``serve_requests_total{shard="0"}``); HELP/TYPE headers are
+    emitted once per base metric, before its first sample.
+    """
     snap = _as_snapshot(source)
     lines: list[str] = []
+    seen: set[str] = set()
+
+    def header_once(base: str, metric: str, kind: str) -> None:
+        if metric not in seen:
+            seen.add(metric)
+            _header(lines, base, metric, kind)
+
     for name in sorted(snap.get("counters", {})):
-        metric = _metric_name(name)
+        base, labels = _split_labels(name)
+        metric = _metric_name(base)
         if not metric.endswith("_total"):
             metric += "_total"
-        _header(lines, name, metric, "counter")
-        lines.append(f"{metric} {_format_value(snap['counters'][name])}")
+        header_once(base, metric, "counter")
+        suffix = f"{{{labels}}}" if labels else ""
+        lines.append(f"{metric}{suffix} {_format_value(snap['counters'][name])}")
     for name in sorted(snap.get("gauges", {})):
-        metric = _metric_name(name)
-        _header(lines, name, metric, "gauge")
-        lines.append(f"{metric} {_format_value(snap['gauges'][name])}")
+        base, labels = _split_labels(name)
+        metric = _metric_name(base)
+        header_once(base, metric, "gauge")
+        suffix = f"{{{labels}}}" if labels else ""
+        lines.append(f"{metric}{suffix} {_format_value(snap['gauges'][name])}")
     for name in sorted(snap.get("histograms", {})):
         record = snap["histograms"][name]
-        metric = _metric_name(name)
-        _header(lines, name, metric, "summary")
+        base, labels = _split_labels(name)
+        metric = _metric_name(base)
+        header_once(base, metric, "summary")
+        prefix = f"{labels}," if labels else ""
         for q in Histogram.QUANTILES:
             value = record.get(f"p{int(q * 100)}", 0.0)
-            lines.append(f'{metric}{{quantile="{q}"}} {_format_value(value)}')
-        lines.append(f"{metric}_sum {_format_value(record.get('total', 0.0))}")
-        lines.append(f"{metric}_count {_format_value(record.get('count', 0))}")
+            lines.append(f'{metric}{{{prefix}quantile="{q}"}} {_format_value(value)}')
+        suffix = f"{{{labels}}}" if labels else ""
+        lines.append(f"{metric}_sum{suffix} {_format_value(record.get('total', 0.0))}")
+        lines.append(f"{metric}_count{suffix} {_format_value(record.get('count', 0))}")
     if not lines:
         lines.append("# (no metrics recorded)")
     return "\n".join(lines) + "\n"

@@ -143,9 +143,19 @@ class ParallelExecutor:
 
         Exceptions raised by ``fn`` propagate to the caller on every
         backend, exactly as in the serial loop.
+
+        Single-item fast path: without metrics, a pool backend still
+        runs one lone item inline (no scheduling round-trip for work
+        that cannot be parallelized anyway). With metrics enabled the
+        item goes through the configured pool, so every
+        ``executor.chunk_seconds`` observation is measured inside the
+        backend that was actually configured — the serial code path
+        never records chunks on behalf of a thread/process executor.
         """
         items = list(items)
-        if self.backend == "serial" or len(items) <= 1:
+        if not items:
+            return []
+        if self.backend == "serial" or (len(items) <= 1 and self.metrics is None):
             if self.metrics is None:
                 return [fn(item) for item in items]
             elapsed, out = _timed_apply_chunk(fn, items)

@@ -16,7 +16,12 @@ path for that claim:
   ``/readyz``, Prometheus ``/metrics``, ``/debug/requests``) over a
   running service (``PredictionService(admin_port=…)`` or standalone);
 * :class:`FlightRecorder` — bounded ring of recent slow/error/timeout
-  requests, correlated by the ``req-N`` ID every result carries.
+  requests, correlated by the ``req-N`` ID every result carries;
+* :class:`ShardedPredictionService` — the same typed contract scaled
+  across N worker processes sharing one
+  :class:`SharedPatternBank` shared-memory pattern bank, with
+  admission control (typed ``OVERLOAD`` results under saturation) and
+  zero-loss worker recycle/respawn (see ``repro.serve.shard``).
 
 Typical use::
 
@@ -34,6 +39,7 @@ from .admin import AdminServer
 from .compiled import CompiledModel
 from .flight import FlightRecord, FlightRecorder
 from .service import PredictionService
+from .shard import SharedPatternBank, ShardedPredictionService
 from .types import PredictionRequest, PredictionResult, ResultStatus, validate_series
 
 __all__ = [
@@ -45,5 +51,7 @@ __all__ = [
     "PredictionRequest",
     "PredictionResult",
     "ResultStatus",
+    "SharedPatternBank",
+    "ShardedPredictionService",
     "validate_series",
 ]

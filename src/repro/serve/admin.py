@@ -13,6 +13,8 @@ daemon thread so it never competes with the batching worker:
   ``?id=req-N`` retrieves one request by the ID its
   :class:`~repro.serve.types.PredictionResult` carried, ``?limit=K``
   caps the listing;
+* ``GET /shards``   — per-shard worker status (generation, pid,
+  liveness, inflight) when the bound service is a sharded tier;
 * ``GET /``         — route index.
 
 The surface is read-only and binds loopback by default. It observes
@@ -41,6 +43,7 @@ _ROUTES = {
     "/metrics": "Prometheus text exposition",
     "/metrics.json": "metrics snapshot as JSON",
     "/debug/requests": "flight recorder (?id=req-N, ?limit=K)",
+    "/shards": "per-shard worker status (sharded tiers only)",
 }
 
 
@@ -91,6 +94,16 @@ class _AdminHandler(BaseHTTPRequestHandler):
                 self._respond(200, body, "application/json; charset=utf-8")
             elif parsed.path == "/debug/requests":
                 self._debug_requests(service, query)
+            elif parsed.path == "/shards":
+                # Duck-typed: only sharded tiers expose shard_states().
+                shard_states = getattr(service, "shard_states", None)
+                if shard_states is None:
+                    self._json(
+                        404,
+                        {"error": "this service is single-process (no shards)"},
+                    )
+                else:
+                    self._json(200, {"shards": shard_states()})
             else:
                 self._json(404, {"error": f"no route {parsed.path!r}", "routes": _ROUTES})
         except Exception as exc:  # never kill the handler thread

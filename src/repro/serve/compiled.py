@@ -125,6 +125,39 @@ class CompiledModel:
         kernel_backend: str = "auto",
         trace=None,
     ) -> None:
+        if not patterns:
+            raise ValueError("CompiledModel needs a non-empty pattern bank")
+        self._init_runtime(
+            [pattern_values(p) for p in patterns],
+            classifier,
+            rotation_invariant=rotation_invariant,
+            classes=classes,
+            series_length=series_length,
+            n_jobs=n_jobs,
+            parallel_backend=parallel_backend,
+            kernel_backend=kernel_backend,
+            trace=trace,
+        )
+        # Plans are per input length m (resampling depends on m); the
+        # native plan — no pattern longer than the input — dominates in
+        # practice and is compiled eagerly.
+        self._native_plan = self._compile(self.max_pattern_length)
+
+    def _init_runtime(
+        self,
+        values: list[np.ndarray],
+        classifier,
+        *,
+        rotation_invariant: bool,
+        classes,
+        series_length: int | None,
+        n_jobs: int,
+        parallel_backend: str,
+        kernel_backend: str,
+        trace,
+    ) -> None:
+        """Everything except native-plan compilation (shared with
+        :meth:`from_shared_bank`, which injects an already-built plan)."""
         if parallel_backend not in BACKENDS:
             raise ValueError(
                 f"parallel_backend must be one of {BACKENDS}, got {parallel_backend!r}"
@@ -133,23 +166,17 @@ class CompiledModel:
             raise ValueError(
                 f"kernel_backend must be one of {KERNEL_BACKENDS}, got {kernel_backend!r}"
             )
-        if not patterns:
-            raise ValueError("CompiledModel needs a non-empty pattern bank")
         self.classifier = classifier
         self.kernel_backend = kernel_backend
         self.rotation_invariant = bool(rotation_invariant)
         self.classes = None if classes is None else np.asarray(classes)
         self.series_length = None if series_length is None else int(series_length)
         self.tracer = resolve_tracer(trace)
-        self._values = [pattern_values(p) for p in patterns]
+        self._values = values
         self.n_patterns = len(self._values)
         self.max_pattern_length = max(v.size for v in self._values)
         self._executor = ParallelExecutor(n_jobs, parallel_backend)
-        # Plans are per input length m (resampling depends on m); the
-        # native plan — no pattern longer than the input — dominates in
-        # practice and is compiled eagerly.
         self._plans: dict[int, list[_Bucket]] = {}
-        self._native_plan = self._compile(self.max_pattern_length)
 
     # -- construction ----------------------------------------------------------
 
@@ -173,6 +200,48 @@ class CompiledModel:
         from ..core.io import load_model
 
         return cls.from_classifier(load_model(path), **runtime)
+
+    @classmethod
+    def from_shared_bank(
+        cls,
+        values: list[np.ndarray],
+        native_plan: list[_Bucket],
+        classifier,
+        *,
+        rotation_invariant: bool = False,
+        classes=None,
+        series_length: int | None = None,
+        n_jobs: int = 1,
+        parallel_backend: str = "thread",
+        kernel_backend: str = "auto",
+        trace=None,
+    ) -> "CompiledModel":
+        """Wrap an already-compiled bank (e.g. shared-memory views).
+
+        ``values`` and ``native_plan`` are adopted as-is — no copy, no
+        re-normalization — so a shard worker can serve straight out of
+        read-only :mod:`multiprocessing.shared_memory` views built once
+        by the parent (see :class:`repro.serve.shard.SharedPatternBank`).
+        The caller owns the backing buffers' lifetime; they must outlive
+        the model. Plans for *shorter* inputs are still compiled lazily
+        (they resample, so they allocate fresh private arrays).
+        """
+        if not values:
+            raise ValueError("CompiledModel needs a non-empty pattern bank")
+        model = cls.__new__(cls)
+        model._init_runtime(
+            list(values),
+            classifier,
+            rotation_invariant=rotation_invariant,
+            classes=classes,
+            series_length=series_length,
+            n_jobs=n_jobs,
+            parallel_backend=parallel_backend,
+            kernel_backend=kernel_backend,
+            trace=trace,
+        )
+        model._native_plan = list(native_plan)
+        return model
 
     def _compile(self, m: int) -> list[_Bucket]:
         """Length-bucketed, pre-z-normalized bank for inputs of length ``m``."""

@@ -32,6 +32,9 @@ class FlightRecord:
     status: str
     reason: str
     batch_id: int | None = None
+    #: Shard that carried the request (``None`` on single-process tiers
+    #: and for requests rejected before routing).
+    shard: int | None = None
     queue_wait_ms: float = 0.0
     latency_ms: float = 0.0
     #: Milliseconds of deadline left at completion (negative = missed);
@@ -50,6 +53,7 @@ class FlightRecord:
             "status": self.status,
             "reason": self.reason,
             "batch_id": self.batch_id,
+            "shard": self.shard,
             "queue_wait_ms": round(self.queue_wait_ms, 3),
             "latency_ms": round(self.latency_ms, 3),
             "deadline_slack_ms": (

@@ -144,6 +144,13 @@ class PredictionService:
         self._ready = False
         self._next_id = 0
         self._id_lock = threading.Lock()
+        # Serializes the running-check-then-enqueue in submit() against
+        # stop(): without it a racing submit can pass the check, lose
+        # the CPU while stop() enqueues _STOP and the worker finishes
+        # its final drain, and then land its put() on a queue nobody
+        # will ever read — a forever-dangling future and a leaked +1 on
+        # the serve.queue_depth gauge.
+        self._submit_lock = threading.Lock()
         self._batches_done = 0
 
     # -- lifecycle -------------------------------------------------------------
@@ -186,14 +193,28 @@ class PredictionService:
 
     def stop(self) -> None:
         """Drain-and-stop: queued requests are still answered."""
-        if not self._running:
-            return
-        self._running = False
-        self._ready = False
-        self._queue.put(_STOP)
+        with self._submit_lock:
+            if not self._running:
+                return
+            self._running = False
+            self._ready = False
+            self._queue.put(_STOP)
         if self._thread is not None:
             self._thread.join()
             self._thread = None
+        # Belt and braces against future enqueue paths: anything that
+        # slipped in behind _STOP (impossible via submit(), which holds
+        # the lock) still gets a typed answer instead of dangling.
+        for request, future in self._drain():
+            self.metrics.add_gauge("serve.queue_depth", -1)
+            future.set_result(
+                PredictionResult(
+                    request_id=request.request_id,
+                    status=ResultStatus.ERROR,
+                    error_code="service-stopped",
+                    error_message="service stopped before the request was batched",
+                )
+            )
         if self.admin is not None:
             self.admin.stop()
             self.admin = None
@@ -271,8 +292,18 @@ class PredictionService:
             deadline=None if deadline_ms is None else now + deadline_ms / 1000.0,
             enqueued_at=now,
         )
-        self.metrics.add_gauge("serve.queue_depth", 1)
-        self._queue.put((request, future))
+        # Re-check liveness and enqueue atomically against stop():
+        # either this put lands before _STOP (the worker's final drain
+        # answers it) or the service is already stopped and the caller
+        # gets the RuntimeError — never a dangling future.
+        with self._submit_lock:
+            if not self._running:
+                raise RuntimeError(
+                    "PredictionService is not running; use `with service:` "
+                    "or call start()"
+                )
+            self.metrics.add_gauge("serve.queue_depth", 1)
+            self._queue.put((request, future))
         return future
 
     def predict_one(
@@ -284,8 +315,14 @@ class PredictionService:
     def predict_many(
         self, X, *, deadline_ms: float | None = None, wait_s: float | None = None
     ) -> list[PredictionResult]:
-        """Submit every row of ``X`` and block for all results, in order."""
-        futures = [self.submit(row, deadline_ms=deadline_ms) for row in np.asarray(X, dtype=float)]
+        """Submit every row of ``X`` and block for all results, in order.
+
+        Rows are submitted as-is — never forced through one rectangular
+        array — so a ragged batch (wrong-length or non-numeric rows
+        mixed with good ones) yields per-row typed ``INVALID`` results
+        instead of an untyped ``ValueError`` before validation runs.
+        """
+        futures = [self.submit(row, deadline_ms=deadline_ms) for row in X]
         return [future.result(timeout=wait_s) for future in futures]
 
     def predict(self, X) -> np.ndarray:

@@ -34,6 +34,12 @@ class ResultStatus(str, enum.Enum):
     #: The model itself failed mid-batch; the message carries the
     #: exception type and text.
     ERROR = "error"
+    #: Admission control rejected the request at submit time: the
+    #: estimated queue wait (queue depth × per-request latency) exceeded
+    #: the latency budget, or a shard queue hit its hard cap. The
+    #: request never occupies a queue slot — load is shed with a typed
+    #: result instead of unbounded queueing.
+    OVERLOAD = "overload"
 
 
 @dataclass
@@ -76,6 +82,9 @@ class PredictionResult:
     deadline_missed: bool = False
     latency_ms: float = 0.0
     batch_id: int | None = None
+    #: Which shard of a sharded tier answered (``None`` single-process,
+    #: or for requests rejected before routing).
+    shard: int | None = None
     features: np.ndarray | None = field(default=None, repr=False)
 
     @property

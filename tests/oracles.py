@@ -31,6 +31,7 @@ from repro.sax.znorm import znorm
 __all__ = [
     "DISTANCE_RTOL",
     "DISTANCE_ATOL",
+    "DISTANCE_NEARZERO_RTOL",
     "naive_distance_profile",
     "naive_profiles",
     "naive_best_distances",
@@ -41,6 +42,11 @@ __all__ = [
 #: Shared tolerance model for cross-backend distance comparisons.
 DISTANCE_RTOL = 1e-9
 DISTANCE_ATOL = 1e-6
+#: Distances below this fraction of the profile's range are
+#: "numerically zero": σ-cancellation noise enters d² linearly and the
+#: square root amplifies it to ~sqrt(2L·δ) near d == 0, so two
+#: near-zero values compare equal (see :func:`assert_profiles_close`).
+DISTANCE_NEARZERO_RTOL = 5e-3
 
 
 def naive_distance_profile(pattern: np.ndarray, series: np.ndarray) -> np.ndarray:
@@ -96,9 +102,24 @@ def assert_profiles_close(
     Shapes must match exactly; both sides must be finite and
     non-negative (a distance can never be otherwise — catching a NaN
     here beats catching it three layers up in a classifier).
+
+    The kernels' error model lives on the *squared* distance: the
+    rolling-statistics identity derives each window's σ from
+    whole-series cumulative sums, so on offset-dominated data its
+    relative error δ reaches ``eps · Σx²/var`` (~1e-5 at the
+    offset/noise ratios the property suite allows), that δ enters
+    ``d²`` linearly, and a true-zero distance surfaces as
+    ``sqrt(2L·δ)`` — a few 1e-3 of the profile's range. No fixed
+    d-space floor covers that honestly, so the model is two-tier: each
+    element agrees in d-space (``rtol`` plus a floor scaled by the
+    profile's dynamic range), *or* both sides are numerically zero
+    relative to that range (:data:`DISTANCE_NEARZERO_RTOL` — the regime
+    where the square root has amplified σ's cancellation noise past any
+    meaningful digits). Genuinely wrong distances fail both tiers; the
+    exact cross-backend check is :func:`assert_argmin_equal`.
     """
-    actual = np.asarray(actual)
-    expected = np.asarray(expected)
+    actual = np.asarray(actual, dtype=float)
+    expected = np.asarray(expected, dtype=float)
     assert actual.shape == expected.shape, (
         f"profile shape mismatch: {actual.shape} vs {expected.shape}"
         + (f" ({err_msg})" if err_msg else "")
@@ -106,7 +127,19 @@ def assert_profiles_close(
     assert np.all(np.isfinite(actual)), f"non-finite distances in actual {err_msg}"
     assert np.all(np.isfinite(expected)), f"non-finite distances in expected {err_msg}"
     assert np.all(actual >= 0.0), f"negative distances in actual {err_msg}"
-    np.testing.assert_allclose(actual, expected, rtol=rtol, atol=atol, err_msg=err_msg)
+    scale = max(1.0, float(np.max(expected, initial=0.0)))
+    diff = np.abs(actual - expected)
+    ok_d = diff <= atol * scale + rtol * np.abs(expected)
+    ok_nearzero = np.maximum(actual, expected) <= DISTANCE_NEARZERO_RTOL * scale
+    ok = ok_d | ok_nearzero
+    if not np.all(ok):
+        worst = int(np.argmax(np.where(ok, 0.0, diff)))
+        raise AssertionError(
+            f"distances diverge beyond the tolerance model ({err_msg}): "
+            f"{int((~ok).sum())}/{ok.size} elements, worst at flat index "
+            f"{worst}: actual={actual.flat[worst]!r} "
+            f"expected={expected.flat[worst]!r} (scale={scale:g})"
+        )
 
 
 def assert_argmin_equal(

@@ -9,6 +9,8 @@ fan out aggressively.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -16,6 +18,7 @@ from repro import RPMClassifier, SaxParams
 from repro.core.candidates import find_candidates
 from repro.core.transform import pattern_features
 from repro.data import cbf
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime import ParallelExecutor, resolve_n_jobs
 
 FIXED_PARAMS = SaxParams(window_size=24, paa_size=5, alphabet_size=4)
@@ -36,6 +39,10 @@ def _raise_on_three(x):
     if x == 3:
         raise RuntimeError("boom")
     return x
+
+
+def _thread_name(_):
+    return threading.current_thread().name
 
 
 class TestResolveNJobs:
@@ -90,6 +97,26 @@ class TestParallelExecutor:
         executor.map(_square, range(4))
         executor.close()
         executor.close()
+
+    def test_single_item_with_metrics_runs_in_the_pool(self):
+        # Regression: the single-item fast path used to bypass the pool
+        # even with metrics enabled, so executor.chunk_seconds quietly
+        # recorded serial timings on behalf of a thread backend.
+        metrics = MetricsRegistry()
+        with ParallelExecutor(2, "thread", metrics=metrics) as executor:
+            name = executor.map(_thread_name, [0])[0]
+            assert name != threading.current_thread().name
+            assert name.startswith(executor._pool._thread_name_prefix)
+        snap = metrics.snapshot()
+        assert snap["counters"]["executor.chunks"] == 1
+        assert snap["counters"]["executor.items"] == 1
+        assert snap["histograms"]["executor.chunk_seconds"]["count"] == 1
+
+    def test_single_item_without_metrics_stays_inline(self):
+        with ParallelExecutor(2, "thread") as executor:
+            name = executor.map(_thread_name, [0])[0]
+            assert executor._pool is None
+        assert name == threading.current_thread().name
 
 
 @pytest.fixture(scope="module")

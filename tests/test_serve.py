@@ -10,6 +10,8 @@ requests were batched.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -165,6 +167,55 @@ class TestPredictionService:
         service = PredictionService(compiled, warmup=False)
         with pytest.raises(RuntimeError, match="not running"):
             service.submit(tiny_gun.X_test[0])
+
+    def test_submit_racing_stop_never_strands_a_future(self, compiled, tiny_gun):
+        # Regression: submit() could observe _running=True, lose the CPU
+        # while stop() drained the queue and shut the worker down, then
+        # enqueue into a dead service — a future nobody would resolve.
+        # Now submit and stop serialize on a lock and stop() re-drains
+        # stragglers, so every accepted future resolves (OK or a typed
+        # "service-stopped" ERROR) and none hangs.
+        rows = tiny_gun.X_test
+        for _ in range(20):
+            service = PredictionService(
+                compiled, max_batch=4, max_delay_ms=5.0, warmup=False
+            )
+            service.start()
+            futures: list = []
+            barrier = threading.Barrier(3)
+
+            def submitter() -> None:
+                barrier.wait()
+                local = []
+                for row in rows:
+                    try:
+                        local.append(service.submit(row))
+                    except RuntimeError:
+                        break  # typed fast-fail after stop: fine
+                futures.extend(local)
+
+            threads = [threading.Thread(target=submitter) for _ in range(2)]
+            for t in threads:
+                t.start()
+            barrier.wait()
+            service.stop()
+            for t in threads:
+                t.join()
+            for f in futures:
+                result = f.result(timeout=5.0)  # hangs = the regression
+                assert result.ok or result.status is ResultStatus.ERROR
+            assert service.metrics.gauge_value("serve.queue_depth") == 0
+
+    def test_ragged_predict_many_yields_per_row_invalid(self, compiled, tiny_gun):
+        # Regression: np.asarray on a ragged batch raised ValueError out
+        # of predict_many instead of producing typed per-row results.
+        m = tiny_gun.X_test.shape[1]
+        rows = [tiny_gun.X_test[0], np.zeros(m // 2), tiny_gun.X_test[1]]
+        with PredictionService(compiled, warmup=False) as service:
+            results = service.predict_many(rows)
+        assert results[0].ok and results[2].ok
+        assert results[1].status is ResultStatus.INVALID
+        assert results[1].error_code == "bad-length"
 
     def test_metrics_emitted(self, compiled, tiny_gun):
         # Exercise the default-registry path: without an explicit
