@@ -35,7 +35,7 @@ import harness  # noqa: E402
 from repro import RPMClassifier, SaxParams  # noqa: E402
 from repro.data import load  # noqa: E402
 from repro.obs import registry, scoped_registry  # noqa: E402
-from repro.serve import CompiledModel, PredictionService  # noqa: E402
+from repro.serve import CompiledModel, PredictionService, ServeConfig  # noqa: E402
 
 THROUGHPUT_GATE_MIN_CPUS = 4
 GATE_FACTOR = 2.0
@@ -81,7 +81,7 @@ def run_bench() -> str:
             with CompiledModel.from_classifier(
                 clf, n_jobs=jobs, parallel_backend=backend
             ) as model:
-                with PredictionService(model, **knobs) as service:
+                with PredictionService(model, config=ServeConfig(**knobs)) as service:
                     baseline = registry().snapshot()
                     rate, labels = _throughput(service, X, coalesce=coalesce)
             lat = registry().delta(baseline)["histograms"].get(

@@ -44,6 +44,7 @@ from repro.serve import (  # noqa: E402
     CompiledModel,
     PredictionService,
     ResultStatus,
+    ServeConfig,
     ShardedPredictionService,
 )
 
@@ -53,6 +54,12 @@ RPS_GATE_FACTOR = 1.2
 CLIENTS = 4
 DURATION_S = 1.5
 SATURATION_BURST = 64
+#: Shadow scoring must stay off the latency path: with a candidate
+#: mirroring 100% of traffic, closed-loop p99 may not exceed the
+#: shadow-off p99 by more than this factor (plus a small absolute
+#: slack for timer noise on tiny latencies).
+SHADOW_P99_FACTOR = 1.5
+SHADOW_P99_SLACK_MS = 2.0
 
 
 def _requests(dataset, n: int = 64) -> np.ndarray:
@@ -101,13 +108,14 @@ def _latency_quantiles(delta: dict) -> dict:
 
 
 def _service_for(clf, config: str):
+    serve_config = ServeConfig(max_batch=32, max_delay_ms=2.0)
     if config == "single-process":
         model = CompiledModel.from_classifier(clf)
-        return PredictionService(model, max_batch=32, max_delay_ms=2.0)
+        return PredictionService(model, config=serve_config)
     n_shards = int(config.split("-")[1])
     model = CompiledModel.from_classifier(clf)
     return ShardedPredictionService(
-        model, n_shards=n_shards, max_batch=32, max_delay_ms=2.0
+        model, config=serve_config.replace(n_shards=n_shards)
     )
 
 
@@ -117,11 +125,13 @@ def _saturation(clf, X: np.ndarray) -> dict:
     with scoped_registry():
         with ShardedPredictionService(
             model,
-            n_shards=1,
-            max_batch=4,
-            max_delay_ms=5.0,
-            max_queue_per_shard=2,
-            warmup=False,
+            config=ServeConfig(
+                n_shards=1,
+                max_batch=4,
+                max_delay_ms=5.0,
+                max_queue_per_shard=2,
+                warmup=False,
+            ),
         ) as service:
             futures = [
                 service.submit(X[i % len(X)]) for i in range(SATURATION_BURST)
@@ -147,6 +157,49 @@ def _saturation(clf, X: np.ndarray) -> dict:
         "shed_overload": len(shed),
         "completed_ok": len(ok),
         "queue_depth_after": depth,
+    }
+
+
+def _shadow_overhead(clf, X: np.ndarray) -> dict:
+    """Closed-loop p99 with a 100%-fraction shadow candidate attached
+    vs shadow off: mirroring must not sit on the latency path."""
+    quantiles = {}
+    scored = dropped = 0
+    for mode in ("shadow-off", "shadow-on"):
+        model = CompiledModel.from_classifier(clf)
+        candidate = CompiledModel.from_classifier(clf)
+        with scoped_registry():
+            with PredictionService(
+                model, config=ServeConfig(max_batch=32, max_delay_ms=2.0)
+            ) as service:
+                if mode == "shadow-on":
+                    service.attach_shadow(
+                        candidate, version="bench-candidate", fraction=1.0
+                    )
+                baseline = registry().snapshot()
+                _closed_loop(service, X)
+                report = service.detach_shadow()
+                if report is not None:
+                    scored, dropped = report.n_scored, report.n_dropped
+                    assert report.n_disagreements == 0, (
+                        "identical shadow candidate disagreed with the primary"
+                    )
+            quantiles[mode] = _latency_quantiles(registry().delta(baseline))
+        candidate.close()
+    p99_off = quantiles["shadow-off"]["p99"]
+    p99_on = quantiles["shadow-on"]["p99"]
+    budget = p99_off * SHADOW_P99_FACTOR + SHADOW_P99_SLACK_MS
+    assert p99_on <= budget, (
+        f"shadow scoring leaked onto the latency path: p99 {p99_on:.2f}ms "
+        f"with shadow on vs {p99_off:.2f}ms off (budget {budget:.2f}ms)"
+    )
+    return {
+        "p99_off_ms": round(p99_off, 3),
+        "p99_on_ms": round(p99_on, 3),
+        "budget_ms": round(budget, 3),
+        "fraction": 1.0,
+        "n_scored": scored,
+        "n_dropped": dropped,
     }
 
 
@@ -182,6 +235,7 @@ def run_bench() -> str:
         )
 
     saturation = _saturation(clf, X)
+    shadow = _shadow_overhead(clf, X)
     cpus = os.cpu_count() or 1
     gated = cpus >= RPS_GATE_MIN_CPUS
     scaling = rps["sharded-2"] / rps["sharded-1"]
@@ -191,6 +245,7 @@ def run_bench() -> str:
             "duration_s": DURATION_S,
             "cpus": cpus,
             "saturation": saturation,
+            "shadow": shadow,
             "equivalence": "bitwise (all tiers == RPMClassifier.predict)",
             "gate": {
                 "armed": gated,
@@ -215,6 +270,10 @@ def run_bench() -> str:
             f"{saturation['max_queue_per_shard']} -> "
             f"{saturation['shed_overload']} shed (typed OVERLOAD), "
             f"{saturation['completed_ok']} completed, queue drained",
+            f"shadow overhead: p99 {shadow['p99_on_ms']:.2f}ms with a 100% "
+            f"shadow vs {shadow['p99_off_ms']:.2f}ms off "
+            f"({shadow['n_scored']} scored, {shadow['n_dropped']} dropped; "
+            f"budget {shadow['budget_ms']:.2f}ms)",
             f"sharded-2 / sharded-1 scaling: {scaling:.2f}x "
             f"(gate {'armed' if gated else f'off — <{RPS_GATE_MIN_CPUS} CPUs'})",
             "equivalence: every tier bitwise-identical to RPMClassifier.predict",

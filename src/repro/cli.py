@@ -12,6 +12,12 @@ Usage (after ``pip install -e .``; installed as both ``rpm`` and
     rpm predict --model model.npz data.txt   # label series via repro.serve
     rpm serve --model model.npz      # micro-batched serving loop on stdin
     rpm serve --model model.npz --http-port 9100 --log-format json
+    rpm serve --registry models/ --http-port 9100   # serve the promoted version
+    rpm serve --registry models/ --shadow v3 --shadow-report-out shadow.json
+    rpm model publish models/ model.npz      # version an artifact with lineage
+    rpm model list models/                   # every version + promotion marker
+    rpm model promote models/ v2 --shadow-report shadow.json --max-disagreement 0.01
+    rpm model rollback models/               # CURRENT back to the previous version
     rpm metrics --url http://127.0.0.1:9100  # scrape a live admin endpoint
     rpm metrics --jsonl metrics.jsonl --format prometheus
 
@@ -58,7 +64,16 @@ from .runtime.cache import DEFAULT_CACHE_SIZE
 from .runtime.kernel import KERNEL_BACKENDS
 from .runtime.discretize_cache import DEFAULT_DISCRETIZE_CACHE_SIZE
 from .sax.discretize import REDUCTIONS, SaxParams
-from .serve import CompiledModel, PredictionService, ShardedPredictionService
+from .serve import (
+    CompiledModel,
+    ModelHandle,
+    ModelRegistry,
+    PredictionService,
+    PromotionGate,
+    ServeConfig,
+    ShadowReport,
+    ShardedPredictionService,
+)
 
 BASELINES = {
     "NN-ED": NearestNeighborED,
@@ -225,8 +240,33 @@ def cmd_classify(args) -> int:
     return 0
 
 
+def _open_handle(args, tracer: Tracer | None = None) -> ModelHandle:
+    """The serving :class:`ModelHandle` from the model-source flags.
+
+    ``--model PATH`` opens one artifact directly; ``--registry DIR``
+    opens a version (``--model-version``, default the promoted
+    ``current``) with integrity checks and enables version-name
+    hot-swap via the admin ``POST /swap``.
+    """
+    shards = getattr(args, "shards", 0)
+    runtime = dict(
+        n_jobs=1 if shards else args.jobs,
+        parallel_backend=args.parallel_backend,
+        kernel_backend=args.kernel_backend,
+        dtype=getattr(args, "model_dtype", "float64"),
+        trace=tracer,
+    )
+    registry_dir = getattr(args, "registry", None)
+    if registry_dir:
+        version = getattr(args, "model_version", None) or "current"
+        return ModelHandle.open(version, registry=registry_dir, **runtime)
+    if not args.model:
+        raise ValueError("pass --model PATH or --registry DIR")
+    return ModelHandle.open(args.model, **runtime)
+
+
 def _build_service(args, tracer: Tracer | None = None):
-    """Compiled model + serving tier from the serve flags.
+    """Serving tier from the serve flags, all knobs via ServeConfig.
 
     ``--shards 0`` (default) builds the in-process
     :class:`PredictionService`; ``--shards N`` builds the sharded
@@ -234,40 +274,11 @@ def _build_service(args, tracer: Tracer | None = None):
     admission control. Both expose the same client API, so callers
     never branch.
     """
-    shards = getattr(args, "shards", 0)
-    model = CompiledModel.load(
-        args.model,
-        n_jobs=1 if shards else args.jobs,
-        parallel_backend=args.parallel_backend,
-        kernel_backend=args.kernel_backend,
-        trace=tracer,
-    )
-    if shards:
-        return ShardedPredictionService(
-            model,
-            n_shards=shards,
-            max_batch=args.max_batch,
-            max_delay_ms=args.max_delay_ms,
-            default_deadline_ms=args.deadline_ms,
-            warmup=not args.no_warmup,
-            admission_budget_ms=args.admission_budget_ms,
-            max_queue_per_shard=args.max_queue,
-            slow_ms=args.slow_ms,
-            flight_capacity=args.flight_size,
-            admin_port=getattr(args, "http_port", None),
-            trace=tracer,
-        )
-    return PredictionService(
-        model,
-        max_batch=args.max_batch,
-        max_delay_ms=args.max_delay_ms,
-        default_deadline_ms=args.deadline_ms,
-        warmup=not args.no_warmup,
-        slow_ms=args.slow_ms,
-        flight_capacity=args.flight_size,
-        admin_port=getattr(args, "http_port", None),
-        trace=tracer,
-    )
+    config = ServeConfig.from_args(args)
+    handle = _open_handle(args, tracer)
+    if config.n_shards:
+        return ShardedPredictionService(handle, config=config, trace=tracer)
+    return PredictionService(handle, config=config, trace=tracer)
 
 
 def _result_record(index, result) -> dict:
@@ -279,6 +290,8 @@ def _result_record(index, result) -> dict:
         "label": None if result.label is None else np.asarray(result.label).item(),
         "latency_ms": round(result.latency_ms, 3),
     }
+    if result.model_version is not None:
+        record["model_version"] = result.model_version
     if result.batch_id is not None:
         record["batch_id"] = result.batch_id
     if result.error_code:
@@ -330,6 +343,15 @@ def cmd_serve(args) -> int:
             print(service.model.describe(), file=sys.stderr)
             if service.admin is not None:
                 print(f"admin endpoint on {service.admin.url()}", file=sys.stderr)
+            if args.shadow:
+                scorer = service.attach_shadow(
+                    args.shadow, fraction=args.shadow_fraction
+                )
+                print(
+                    f"shadow scoring {args.shadow} "
+                    f"(fraction {scorer.fraction})",
+                    file=sys.stderr,
+                )
             count = 0
             for line in stream:
                 line = line.strip()
@@ -344,6 +366,21 @@ def cmd_serve(args) -> int:
                 print(json.dumps(_result_record(count, result)), flush=True)
                 count += 1
             print(f"served {count} requests", file=sys.stderr)
+            report = service.detach_shadow()
+            if report is not None:
+                print(
+                    f"shadow report: {report.n_scored} scored, "
+                    f"disagreement {report.disagreement_rate:.4f}",
+                    file=sys.stderr,
+                )
+                if args.shadow_report_out:
+                    with open(args.shadow_report_out, "w") as fh:
+                        json.dump(report.as_record(), fh, indent=2)
+                        fh.write("\n")
+                    print(
+                        f"shadow report written to {args.shadow_report_out}",
+                        file=sys.stderr,
+                    )
     finally:
         if stream is not sys.stdin:
             stream.close()
@@ -378,6 +415,62 @@ def cmd_metrics(args) -> int:
     else:
         print(to_json(snapshot, indent=2))
     return 0
+
+
+def cmd_model(args) -> int:
+    """``rpm model``: manage a versioned model registry.
+
+    ``publish`` validates + copies one ``save_model`` artifact into the
+    registry with lineage metadata; ``list`` shows every version
+    (``*`` marks the promoted CURRENT); ``promote`` moves the CURRENT
+    pointer, optionally behind a :class:`PromotionGate` fed by a
+    ``rpm serve --shadow-report-out`` JSON; ``rollback`` returns to the
+    previously promoted version.
+    """
+    reg = ModelRegistry(args.registry_dir)
+    if args.model_command == "publish":
+        mv = reg.publish(
+            args.artifact,
+            version=args.as_version,
+            parent=args.parent,
+            notes=args.notes,
+        )
+        print(f"published {mv.version} (sha256 {mv.sha256[:12]}…, "
+              f"{mv.size_bytes} bytes)")
+        return 0
+    if args.model_command == "list":
+        versions = reg.list_versions()
+        if args.json:
+            print(json.dumps([mv.as_record() for mv in versions], indent=2))
+            return 0
+        current = reg.current()
+        if not versions:
+            print(f"registry {reg.root} is empty")
+            return 0
+        for mv in versions:
+            marker = "*" if mv.version == current else " "
+            parent = f" <- {mv.parent}" if mv.parent else ""
+            print(f"{marker} {mv.version:12s} {mv.status:8s} "
+                  f"sha256 {mv.sha256[:12]}…{parent}")
+        return 0
+    if args.model_command == "promote":
+        gate = report = None
+        if args.shadow_report:
+            with open(args.shadow_report) as fh:
+                report = ShadowReport.from_record(json.load(fh))
+            gate = PromotionGate(
+                max_disagreement=args.max_disagreement,
+                max_latency_regression=args.max_latency_regression,
+                min_requests=args.min_requests,
+            )
+        mv = reg.promote(args.version, gate=gate, report=report)
+        print(f"promoted {mv.version} (CURRENT)")
+        return 0
+    if args.model_command == "rollback":
+        mv = reg.rollback()
+        print(f"rolled back to {mv.version} (CURRENT)")
+        return 0
+    raise ValueError(f"unknown model subcommand {args.model_command!r}")
 
 
 def cmd_motifs(args) -> int:
@@ -484,7 +577,20 @@ def build_parser() -> argparse.ArgumentParser:
     classify.set_defaults(func=cmd_classify)
 
     def add_serve_options(p):
-        p.add_argument("--model", required=True, help="saved model (.npz)")
+        p.add_argument("--model", default=None, help="saved model (.npz)")
+        p.add_argument("--registry", metavar="DIR", default=None,
+                       help="serve out of a model registry instead of a bare "
+                            "path; loads the promoted 'current' version "
+                            "(override with --model-version) and enables "
+                            "version-name hot-swap via POST /swap")
+        p.add_argument("--model-version", default=None,
+                       help="registry version to serve (default: the "
+                            "promoted 'current'; 'latest' = newest publish)")
+        p.add_argument("--model-dtype", choices=list(CompiledModel.DTYPES),
+                       default="float64",
+                       help="pattern-bank value dtype; float32 halves the "
+                            "bank at the cost of bitwise equivalence with "
+                            "RPMClassifier (gate it through shadow scoring)")
         p.add_argument("--max-batch", type=_positive_int, default=32,
                        help="largest micro-batch coalesced into one model call")
         p.add_argument("--max-delay-ms", type=float, default=2.0,
@@ -547,6 +653,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "/readyz /debug/requests; 0 = ephemeral)")
     serve.add_argument("--log-format", choices=["text", "json"], default="text",
                        help="structured log line format on stderr")
+    serve.add_argument("--shadow", metavar="TARGET", default=None,
+                       help="mirror a fraction of traffic onto a candidate "
+                            "model off the latency path (a registry version "
+                            "name or an .npz path)")
+    serve.add_argument("--shadow-fraction", type=float, default=0.1,
+                       help="fraction of OK requests mirrored to the shadow "
+                            "candidate (0 < f <= 1)")
+    serve.add_argument("--shadow-report-out", metavar="PATH", default=None,
+                       help="write the final ShadowReport as JSON to PATH "
+                            "on shutdown (feeds 'rpm model promote "
+                            "--shadow-report')")
     add_serve_options(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -564,6 +681,56 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--timeout", type=float, default=5.0,
                          help="scrape timeout in seconds (--url only)")
     metrics.set_defaults(func=cmd_metrics)
+
+    model = sub.add_parser(
+        "model", help="manage a versioned model registry (publish/promote)"
+    )
+    model_sub = model.add_subparsers(dest="model_command", required=True)
+
+    publish = model_sub.add_parser(
+        "publish", help="validate + copy an artifact into the registry"
+    )
+    publish.add_argument("registry_dir", help="registry root directory")
+    publish.add_argument("artifact", help="saved model (.npz) to publish")
+    publish.add_argument("--as-version", default=None, metavar="NAME",
+                         help="version name (default: v<N+1>)")
+    publish.add_argument("--parent", default=None,
+                         help="lineage: the already-published parent version")
+    publish.add_argument("--notes", default="", help="free-form notes")
+    publish.set_defaults(func=cmd_model)
+
+    model_list = model_sub.add_parser(
+        "list", help="every published version; * marks CURRENT"
+    )
+    model_list.add_argument("registry_dir", help="registry root directory")
+    model_list.add_argument("--json", action="store_true",
+                            help="emit the full lineage records as JSON")
+    model_list.set_defaults(func=cmd_model)
+
+    promote = model_sub.add_parser(
+        "promote", help="point CURRENT at a version (optionally gated)"
+    )
+    promote.add_argument("registry_dir", help="registry root directory")
+    promote.add_argument("version", help="version to promote")
+    promote.add_argument("--shadow-report", metavar="PATH", default=None,
+                         help="gate the promotion on a 'rpm serve "
+                              "--shadow-report-out' JSON report")
+    promote.add_argument("--max-disagreement", type=float, default=0.01,
+                         help="gate: highest tolerated label disagreement "
+                              "rate vs the primary (with --shadow-report)")
+    promote.add_argument("--max-latency-regression", type=float, default=0.25,
+                         help="gate: highest tolerated relative mean-latency "
+                              "regression (with --shadow-report)")
+    promote.add_argument("--min-requests", type=_positive_int, default=1,
+                         help="gate: fewest shadow-scored requests required "
+                              "for the report to count (with --shadow-report)")
+    promote.set_defaults(func=cmd_model)
+
+    rollback = model_sub.add_parser(
+        "rollback", help="move CURRENT back to the previous promotion"
+    )
+    rollback.add_argument("registry_dir", help="registry root directory")
+    rollback.set_defaults(func=cmd_model)
 
     motifs = sub.add_parser(
         "motifs", help="discover motifs/discords in a long series"

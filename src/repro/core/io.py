@@ -31,13 +31,19 @@ class ModelFormatError(ValueError):
     Raised up front by :func:`load_model` — before any reconstruction —
     when the archive is missing its metadata or carries a format
     version other than :data:`FORMAT_VERSION`. ``found`` and
-    ``expected`` make the mismatch programmatically inspectable.
+    ``expected`` make the mismatch programmatically inspectable;
+    ``path`` names the offending archive (always present in the
+    message too, so batch tooling walking a registry can tell *which*
+    artifact failed).
     """
 
-    def __init__(self, message: str, *, found=None, expected=FORMAT_VERSION) -> None:
+    def __init__(
+        self, message: str, *, found=None, expected=FORMAT_VERSION, path=None
+    ) -> None:
         super().__init__(message)
         self.found = found
         self.expected = expected
+        self.path = None if path is None else Path(path)
 
 
 def save_model(clf: RPMClassifier, path: str | Path) -> Path:
@@ -94,13 +100,14 @@ def load_model(path: str | Path) -> RPMClassifier:
         raise
     except (ValueError, OSError) as exc:
         raise ModelFormatError(
-            f"{path} is not an RPM model archive: {exc}", found=None
+            f"{path} is not an RPM model archive: {exc}", found=None, path=path
         ) from exc
     with archive_cm as archive:
         if "meta_json" not in archive:
             raise ModelFormatError(
                 f"{path} is not an RPM model archive (no metadata record)",
                 found=None,
+                path=path,
             )
         meta = json.loads(bytes(archive["meta_json"]).decode())
         found = meta.get("format_version")
@@ -109,6 +116,7 @@ def load_model(path: str | Path) -> RPMClassifier:
                 f"unsupported model format version {found!r} in {path}; "
                 f"this build reads version {FORMAT_VERSION}",
                 found=found,
+                path=path,
             )
         train_features = archive["train_features"]
         train_labels = archive["train_labels"]

@@ -15,12 +15,18 @@ daemon thread so it never competes with the batching worker:
   caps the listing;
 * ``GET /shards``   — per-shard worker status (generation, pid,
   liveness, inflight) when the bound service is a sharded tier;
+* ``GET /model``    — the live model: version, handle generation,
+  bank summary, shadow report when a candidate is attached;
+* ``POST /swap``    — hot-swap the served model (body:
+  ``{"version": "v2"}`` against the service's registry, or
+  ``{"path": "model.npz"}``). The **only** mutating route, and it is
+  restricted to loopback peers regardless of the bind host;
 * ``GET /``         — route index.
 
-The surface is read-only and binds loopback by default. It observes
-the service — it never touches the prediction path, so predictions are
-bitwise identical with the admin server on or off (pinned by
-``tests/test_serve_admin.py``).
+Every GET route is read-only and the server binds loopback by default.
+It observes the service — it never touches the prediction path, so
+predictions are bitwise identical with the admin server on or off
+(pinned by ``tests/test_serve_admin.py``).
 """
 
 from __future__ import annotations
@@ -44,7 +50,14 @@ _ROUTES = {
     "/metrics.json": "metrics snapshot as JSON",
     "/debug/requests": "flight recorder (?id=req-N, ?limit=K)",
     "/shards": "per-shard worker status (sharded tiers only)",
+    "/model": "live model version, generation and shadow report",
+    "/swap": 'POST {"version": ...} or {"path": ...} — hot-swap (loopback only)',
 }
+
+#: Peers allowed to hit the mutating ``POST /swap`` route. The check is
+#: on the *connecting* address, so even an admin server deliberately
+#: bound to 0.0.0.0 never accepts a swap from off-host.
+_LOOPBACK_PEERS = ("127.0.0.1", "::1", "::ffff:127.0.0.1")
 
 
 class _AdminHandler(BaseHTTPRequestHandler):
@@ -104,8 +117,68 @@ class _AdminHandler(BaseHTTPRequestHandler):
                     )
                 else:
                     self._json(200, {"shards": shard_states()})
+            elif parsed.path == "/model":
+                describe_model = getattr(service, "describe_model", None)
+                if describe_model is None:
+                    self._json(
+                        404, {"error": "this service has no model lifecycle"}
+                    )
+                else:
+                    self._json(200, describe_model())
             else:
                 self._json(404, {"error": f"no route {parsed.path!r}", "routes": _ROUTES})
+        except Exception as exc:  # never kill the handler thread
+            _log.exception("admin request failed: %s %s", self.path, exc)
+            try:
+                self._json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            except OSError:
+                pass
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        parsed = urlparse(self.path)
+        service = self.server.service  # type: ignore[attr-defined]
+        try:
+            if parsed.path != "/swap":
+                self._json(
+                    404, {"error": f"no POST route {parsed.path!r}", "routes": _ROUTES}
+                )
+                return
+            if self.client_address[0] not in _LOOPBACK_PEERS:
+                self._json(
+                    403,
+                    {"error": "POST /swap is restricted to loopback peers"},
+                )
+                return
+            swap = getattr(service, "swap", None)
+            if swap is None:
+                self._json(404, {"error": "this service does not support hot-swap"})
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                body = json.loads(raw or b"{}")
+            except ValueError:
+                self._json(400, {"error": "request body must be JSON"})
+                return
+            target = body.get("version") or body.get("path")
+            if not target:
+                self._json(
+                    400,
+                    {"error": 'body must carry {"version": ...} or {"path": ...}'},
+                )
+                return
+            try:
+                installed = swap(target)
+            except Exception as exc:
+                # A refused swap (unknown version, failed integrity
+                # check, gated promotion) leaves the old model serving.
+                self._json(409, {"error": f"{type(exc).__name__}: {exc}"})
+                return
+            payload = {"swapped_to": installed}
+            describe_model = getattr(service, "describe_model", None)
+            if describe_model is not None:
+                payload["model"] = describe_model()
+            self._json(200, payload)
         except Exception as exc:  # never kill the handler thread
             _log.exception("admin request failed: %s %s", self.path, exc)
             try:

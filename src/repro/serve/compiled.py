@@ -108,9 +108,21 @@ class CompiledModel:
         below it), ``'fft'``, or ``'matvec'``. Below the crossover
         ``'auto'`` is the bitwise-exact training arithmetic; above it
         distances agree to ~1e-9 relative (see ``docs/runtime.md``).
+    dtype:
+        Pattern-bank storage precision. ``'float64'`` (default) keeps
+        the artifact values verbatim — the bitwise-equivalence
+        guarantee holds. ``'float32'`` quantizes the bank (values
+        round-tripped through float32; the kernel arithmetic stays
+        float64), halving bank memory at the cost of tiny distance
+        perturbations — such a model **must** prove its disagreement
+        rate through shadow scoring before promotion (see
+        ``docs/lifecycle.md``).
     trace:
         Observability knob (same contract as ``RPMClassifier(trace=)``).
     """
+
+    #: Supported pattern-bank storage precisions.
+    DTYPES = ("float64", "float32")
 
     def __init__(
         self,
@@ -123,12 +135,18 @@ class CompiledModel:
         n_jobs: int = 1,
         parallel_backend: str = "thread",
         kernel_backend: str = "auto",
+        dtype: str = "float64",
         trace=None,
     ) -> None:
         if not patterns:
             raise ValueError("CompiledModel needs a non-empty pattern bank")
+        if dtype not in self.DTYPES:
+            raise ValueError(f"dtype must be one of {self.DTYPES}, got {dtype!r}")
+        values = [pattern_values(p) for p in patterns]
+        if dtype == "float32":
+            values = [v.astype(np.float32).astype(np.float64) for v in values]
         self._init_runtime(
-            [pattern_values(p) for p in patterns],
+            values,
             classifier,
             rotation_invariant=rotation_invariant,
             classes=classes,
@@ -138,6 +156,7 @@ class CompiledModel:
             kernel_backend=kernel_backend,
             trace=trace,
         )
+        self.dtype = dtype
         # Plans are per input length m (resampling depends on m); the
         # native plan — no pattern longer than the input — dominates in
         # practice and is compiled eagerly.
@@ -172,6 +191,7 @@ class CompiledModel:
         self.classes = None if classes is None else np.asarray(classes)
         self.series_length = None if series_length is None else int(series_length)
         self.tracer = resolve_tracer(trace)
+        self.dtype = "float64"  # __init__ overwrites after quantizing
         self._values = values
         self.n_patterns = len(self._values)
         self.max_pattern_length = max(v.size for v in self._values)
@@ -196,7 +216,14 @@ class CompiledModel:
 
     @classmethod
     def load(cls, path: str | Path, **runtime) -> "CompiledModel":
-        """Load a :func:`~repro.core.io.save_model` artifact and compile it."""
+        """Load a :func:`~repro.core.io.save_model` artifact and compile it.
+
+        Application code should prefer the unified
+        :meth:`repro.serve.lifecycle.ModelHandle.open` entry point,
+        which also resolves registry versions and supports hot-swap;
+        this classmethod remains as the low-level building block (see
+        ``docs/api.md`` § Deprecated loading paths).
+        """
         from ..core.io import load_model
 
         return cls.from_classifier(load_model(path), **runtime)
@@ -331,5 +358,5 @@ class CompiledModel:
         return (
             f"CompiledModel({self.n_patterns} patterns, "
             f"buckets [{lengths}], rotation_invariant={self.rotation_invariant}, "
-            f"kernel_backend={self.kernel_backend})"
+            f"kernel_backend={self.kernel_backend}, dtype={self.dtype})"
         )

@@ -55,7 +55,9 @@ from ..obs.metrics import MetricsRegistry, registry
 from ..obs.tracer import Tracer
 from .admin import AdminServer
 from .compiled import CompiledModel
+from .config import ServeConfig, apply_legacy_kwargs
 from .flight import FlightRecord, FlightRecorder
+from .lifecycle import ModelHandle, ShadowReport, ShadowScorer
 from .types import PredictionRequest, PredictionResult, ResultStatus, validate_series
 
 __all__ = ["PredictionService"]
@@ -71,33 +73,17 @@ class PredictionService:
     Parameters
     ----------
     model:
-        The compiled model to serve.
-    max_batch:
-        Largest number of requests coalesced into one model call.
-    max_delay_ms:
-        Longest a batch window stays open waiting for more requests.
-        ``0`` disables coalescing (every request is its own batch).
-    default_deadline_ms:
-        Deadline applied to requests that do not bring their own;
-        ``None`` means no deadline.
-    validate:
-        Strict input validation at submit time (length/NaN/dtype).
-        Leave on unless the caller guarantees clean input.
-    warmup:
-        Run :meth:`CompiledModel.warmup` on :meth:`start`. Readiness
-        (:attr:`ready`, the admin ``/readyz``) flips true only once the
-        warm-up batch has completed (immediately when disabled).
-    slow_ms:
-        OK requests at or above this latency are captured by the flight
-        recorder and logged as slow. ``0`` disables slow capture
-        (anomalous statuses are always captured).
-    flight_capacity:
-        Flight-recorder ring size; ``0`` disables request capture
-        entirely.
-    admin_port / admin_host:
-        When ``admin_port`` is not ``None``, :meth:`start` also brings
-        up the embedded :class:`~repro.serve.admin.AdminServer` there
-        (``0`` = ephemeral port; read it back from ``service.admin``).
+        The model to serve: a :class:`CompiledModel`, or a
+        :class:`~repro.serve.lifecycle.ModelHandle` (pass a handle
+        opened against a :class:`~repro.serve.lifecycle.ModelRegistry`
+        to enable version-name hot-swap and the admin ``POST /swap``).
+        A bare model is wrapped in a private handle.
+    config:
+        The one :class:`~repro.serve.config.ServeConfig` carrying every
+        serving knob (batching window, deadlines, flight capture, admin
+        endpoint, shadow fraction). The historical per-knob keywords
+        (``max_batch=…``, ``slow_ms=…``, …) still work for one release
+        and emit a :class:`DeprecationWarning`.
     trace / metrics:
         Observability wiring; defaults to the no-op tracer and the
         process-wide registry.
@@ -105,37 +91,28 @@ class PredictionService:
 
     def __init__(
         self,
-        model: CompiledModel,
+        model: CompiledModel | ModelHandle,
         *,
-        max_batch: int = 32,
-        max_delay_ms: float = 2.0,
-        default_deadline_ms: float | None = None,
-        validate: bool = True,
-        warmup: bool = True,
-        slow_ms: float = 250.0,
-        flight_capacity: int = 128,
-        admin_port: int | None = None,
-        admin_host: str = "127.0.0.1",
+        config: ServeConfig | None = None,
         trace=None,
         metrics: MetricsRegistry | None = None,
+        **legacy,
     ) -> None:
-        if max_batch < 1:
-            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
-        if max_delay_ms < 0:
-            raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
-        if slow_ms < 0:
-            raise ValueError(f"slow_ms must be >= 0, got {slow_ms}")
-        self.model = model
-        self.max_batch = int(max_batch)
-        self.max_delay_s = float(max_delay_ms) / 1000.0
-        self.default_deadline_ms = default_deadline_ms
-        self.validate = bool(validate)
-        self._warmup = bool(warmup)
-        self.slow_ms = float(slow_ms)
-        self.flight = FlightRecorder(flight_capacity)
+        config = apply_legacy_kwargs(config, legacy, owner="PredictionService")
+        self.config = config
+        self.handle = model if isinstance(model, ModelHandle) else ModelHandle(model)
+        self.max_batch = config.max_batch
+        self.max_delay_s = config.max_delay_ms / 1000.0
+        self.default_deadline_ms = config.default_deadline_ms
+        self.validate = config.validate
+        self._warmup = config.warmup
+        self.slow_ms = config.slow_ms
+        self.flight = FlightRecorder(config.flight_capacity)
         self.admin: AdminServer | None = None
-        self._admin_port = admin_port
-        self._admin_host = admin_host
+        self._admin_port = config.admin_port
+        self._admin_host = config.admin_host
+        self.shadow: ShadowScorer | None = None
+        self._shadow_owns_candidate = False
         self.tracer = resolve_tracer(trace)
         self.metrics = metrics if metrics is not None else registry()
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
@@ -156,6 +133,16 @@ class PredictionService:
     # -- lifecycle -------------------------------------------------------------
 
     @property
+    def model(self) -> CompiledModel:
+        """The live compiled model (hot-swappable; see :meth:`swap`)."""
+        return self.handle.model
+
+    @property
+    def model_version(self) -> str | None:
+        """The live model's version name (``None`` when untracked)."""
+        return self.handle.version
+
+    @property
     def running(self) -> bool:
         """Liveness: the batching worker is accepting requests."""
         return self._running
@@ -171,6 +158,7 @@ class PredictionService:
             return self
         if self._warmup:
             self.model.warmup(n=min(4, self.max_batch))
+        self._publish_model_metrics()
         self._ready = True
         self._running = True
         self._thread = threading.Thread(
@@ -213,11 +201,13 @@ class PredictionService:
                     status=ResultStatus.ERROR,
                     error_code="service-stopped",
                     error_message="service stopped before the request was batched",
+                    model_version=self.handle.version,
                 )
             )
         if self.admin is not None:
             self.admin.stop()
             self.admin = None
+        self.detach_shadow()
         _log.info(
             "prediction service stopped",
             extra={
@@ -231,6 +221,104 @@ class PredictionService:
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+    # -- model lifecycle -------------------------------------------------------
+
+    def _publish_model_metrics(self) -> None:
+        """``serve.model_version`` gauge = handle generation (monotonic,
+        so "the gauge moved" is the swap-happened signal), plus a
+        labeled variant naming the version for the Prometheus export."""
+        self.metrics.set_gauge("serve.model_version", float(self.handle.generation))
+        if self.handle.version:
+            self.metrics.set_gauge(
+                f"serve.model_version[version={self.handle.version}]",
+                float(self.handle.generation),
+            )
+
+    def swap(self, target, *, version: str | None = None, warm: bool = True) -> str:
+        """Hot-swap the served model without dropping a request.
+
+        ``target`` is anything :meth:`ModelHandle.open` accepts — an
+        artifact path, a registry version name (when the handle carries
+        a registry), or a prebuilt :class:`CompiledModel`. The incoming
+        model is warmed first, the handle pointer flips between
+        micro-batches, and the outgoing model closes once its last
+        in-flight batch lease releases. Returns the installed version.
+        """
+        resolved = self.handle.swap(target, version=version, warm=warm)
+        self.metrics.inc("serve.swaps")
+        self._publish_model_metrics()
+        _log.info(
+            "model hot-swapped",
+            extra={
+                "version": resolved,
+                "generation": self.handle.generation,
+                "model": self.model.describe(),
+            },
+        )
+        return resolved
+
+    def describe_model(self) -> dict:
+        """JSON-safe live-model state (the admin ``GET /model`` body)."""
+        info = self.handle.describe()
+        shadow = self.shadow
+        if shadow is not None:
+            info["shadow"] = shadow.report().as_record()
+        return info
+
+    def attach_shadow(
+        self,
+        candidate,
+        *,
+        version: str | None = None,
+        fraction: float | None = None,
+        max_backlog: int = 512,
+    ) -> ShadowScorer:
+        """Mirror a fraction of OK traffic onto ``candidate``.
+
+        ``candidate`` resolves like a swap target. Scoring runs on the
+        shadow thread — requests are answered before they are offered,
+        so the latency path is untouched (pinned by the shadow section
+        of ``bench_serve_load.py``). Read :meth:`shadow_report` and feed
+        it to a :class:`~repro.serve.lifecycle.PromotionGate`.
+        """
+        if self.shadow is not None:
+            raise RuntimeError(
+                "a shadow candidate is already attached; detach_shadow() first"
+            )
+        owns = not isinstance(candidate, CompiledModel)
+        model, resolved = self.handle._resolve(candidate, version_hint=version)
+        scorer = ShadowScorer(
+            model,
+            version=resolved,
+            fraction=self.config.shadow_fraction if fraction is None else fraction,
+            max_backlog=max_backlog,
+            metrics=self.metrics,
+            flight=self.flight,
+        )
+        self._shadow_owns_candidate = owns
+        self.shadow = scorer.start()
+        _log.info(
+            "shadow candidate attached",
+            extra={"version": resolved, "fraction": scorer.fraction},
+        )
+        return scorer
+
+    def detach_shadow(self) -> ShadowReport | None:
+        """Stop shadow scoring; returns the final report (idempotent)."""
+        scorer, self.shadow = self.shadow, None
+        if scorer is None:
+            return None
+        scorer.stop()
+        report = scorer.report()
+        if self._shadow_owns_candidate:
+            scorer.candidate.close()
+        self._shadow_owns_candidate = False
+        return report
+
+    def shadow_report(self) -> ShadowReport | None:
+        """The live shadow run's aggregate so far (``None`` when off)."""
+        return None if self.shadow is None else self.shadow.report()
 
     # -- submission ------------------------------------------------------------
 
@@ -280,6 +368,7 @@ class PredictionService:
                     status=ResultStatus.INVALID,
                     error_code=code,
                     error_message=message,
+                    model_version=self.handle.version,
                 )
             )
             return future
@@ -390,6 +479,14 @@ class PredictionService:
         self.metrics.inc("serve.batches")
         self.metrics.observe("serve.batch_size", len(batch))
         self.metrics.add_gauge("serve.queue_depth", -len(batch))
+        # The whole micro-batch runs under one model lease: a concurrent
+        # swap() flips the handle pointer for the *next* batch, while
+        # this lease keeps the outgoing model open until release — the
+        # atomic-swap contract (no request computed by a half-closed
+        # model, every result stamped with the version that made it).
+        lease = self.handle.acquire()
+        model = lease.model
+        version = lease.version
         # The serve.batch span goes to the configured tracer; with
         # tracing off but the flight recorder on, a throwaway local
         # Tracer records it instead, so captured entries always carry
@@ -398,68 +495,91 @@ class PredictionService:
         capture = self.flight.enabled
         tracer = self.tracer if self.tracer.enabled else (Tracer() if capture else self.tracer)
         outcomes: list[tuple[PredictionRequest, PredictionResult]] = []
-        with tracer.span("serve.batch") as span:
-            span.annotate(
-                batch_id=batch_id,
-                request_ids=[request.request_id for request, _ in batch],
-            )
-            span.add("batch.size", len(batch))
-            live: list[tuple[PredictionRequest, Future]] = []
-            for request, future in batch:
-                self.metrics.observe(
-                    "serve.queue_wait_seconds", now - request.enqueued_at
+        try:
+            with tracer.span("serve.batch") as span:
+                span.annotate(
+                    batch_id=batch_id,
+                    request_ids=[request.request_id for request, _ in batch],
+                    model_version=version,
                 )
-                if request.deadline is not None and now > request.deadline:
-                    self.metrics.inc("serve.deadline_misses")
-                    span.add("batch.deadline_misses")
-                    result = PredictionResult(
-                        request_id=request.request_id,
-                        status=ResultStatus.TIMEOUT,
-                        deadline_missed=True,
-                        latency_ms=(now - request.enqueued_at) * 1000.0,
-                        batch_id=batch_id,
+                span.add("batch.size", len(batch))
+                live: list[tuple[PredictionRequest, Future]] = []
+                for request, future in batch:
+                    self.metrics.observe(
+                        "serve.queue_wait_seconds", now - request.enqueued_at
                     )
-                    self._finish(request, future, result, outcomes)
-                else:
-                    live.append((request, future))
-            if live:
-                X = np.stack([request.series for request, _ in live])
-                try:
-                    features = self.model.transform(X)
-                    labels = self.model.classifier.predict(features)
-                except Exception as exc:  # typed results, never a dead worker
-                    self.metrics.inc("serve.errors", len(live))
-                    span.annotate(error=type(exc).__name__)
-                    for request, future in live:
+                    if request.deadline is not None and now > request.deadline:
+                        self.metrics.inc("serve.deadline_misses")
+                        span.add("batch.deadline_misses")
                         result = PredictionResult(
                             request_id=request.request_id,
-                            status=ResultStatus.ERROR,
-                            error_code="model-failure",
-                            error_message=f"{type(exc).__name__}: {exc}",
-                            latency_ms=(time.monotonic() - request.enqueued_at)
-                            * 1000.0,
+                            status=ResultStatus.TIMEOUT,
+                            deadline_missed=True,
+                            latency_ms=(now - request.enqueued_at) * 1000.0,
                             batch_id=batch_id,
+                            model_version=version,
                         )
                         self._finish(request, future, result, outcomes)
-                else:
-                    done = time.monotonic()
-                    for i, (request, future) in enumerate(live):
-                        late = request.deadline is not None and done > request.deadline
-                        if late:
-                            self.metrics.inc("serve.deadline_misses")
-                            span.add("batch.deadline_misses")
-                        result = PredictionResult(
-                            request_id=request.request_id,
-                            status=ResultStatus.OK,
-                            label=labels[i],
-                            deadline_missed=late,
-                            latency_ms=(done - request.enqueued_at) * 1000.0,
-                            batch_id=batch_id,
-                            features=features[i],
-                        )
-                        self._finish(request, future, result, outcomes)
+                    else:
+                        live.append((request, future))
+                if live:
+                    X = np.stack([request.series for request, _ in live])
+                    try:
+                        features = model.transform(X)
+                        labels = model.classifier.predict(features)
+                    except Exception as exc:  # typed results, never a dead worker
+                        self.metrics.inc("serve.errors", len(live))
+                        span.annotate(error=type(exc).__name__)
+                        for request, future in live:
+                            result = PredictionResult(
+                                request_id=request.request_id,
+                                status=ResultStatus.ERROR,
+                                error_code="model-failure",
+                                error_message=f"{type(exc).__name__}: {exc}",
+                                latency_ms=(time.monotonic() - request.enqueued_at)
+                                * 1000.0,
+                                batch_id=batch_id,
+                                model_version=version,
+                            )
+                            self._finish(request, future, result, outcomes)
+                    else:
+                        done = time.monotonic()
+                        for i, (request, future) in enumerate(live):
+                            late = (
+                                request.deadline is not None
+                                and done > request.deadline
+                            )
+                            if late:
+                                self.metrics.inc("serve.deadline_misses")
+                                span.add("batch.deadline_misses")
+                            result = PredictionResult(
+                                request_id=request.request_id,
+                                status=ResultStatus.OK,
+                                label=labels[i],
+                                deadline_missed=late,
+                                latency_ms=(done - request.enqueued_at) * 1000.0,
+                                batch_id=batch_id,
+                                model_version=version,
+                                features=features[i],
+                            )
+                            self._finish(request, future, result, outcomes)
+        finally:
+            lease.release()
+        # Everything below runs after every future in the batch has
+        # resolved — flight capture and shadow mirroring never sit on
+        # the request latency path.
         if capture and outcomes:
             self._record_flight(span, now, outcomes)
+        shadow = self.shadow
+        if shadow is not None:
+            for request, result in outcomes:
+                if result.status is ResultStatus.OK:
+                    shadow.offer(
+                        result.request_id,
+                        request.series,
+                        result.label,
+                        result.latency_ms,
+                    )
 
     def _finish(self, request, future, result, outcomes) -> None:
         """Resolve one future and keep the outcome for flight capture."""

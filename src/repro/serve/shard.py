@@ -60,7 +60,9 @@ from ..obs import resolve_tracer
 from ..obs.metrics import MetricsRegistry, registry
 from .admin import AdminServer
 from .compiled import CompiledModel, _Bucket
+from .config import ServeConfig, apply_legacy_kwargs
 from .flight import FlightRecord, FlightRecorder
+from .lifecycle import ModelHandle, ShadowReport, ShadowScorer
 from .types import PredictionRequest, PredictionResult, ResultStatus, validate_series
 
 __all__ = ["SharedPatternBank", "ShardedPredictionService"]
@@ -293,6 +295,7 @@ def _shard_worker_main(
                     generation,
                     batches_done,
                     result_q,
+                    payload.get("model_version"),
                 )
             if stopping:
                 result_q.put(("stopped", shard_id, generation))
@@ -301,8 +304,16 @@ def _shard_worker_main(
         bank.close()
 
 
-def _shard_process(model, batch, shard_id, generation, batch_id, result_q) -> None:
-    """Run one micro-batch and emit per-request result messages."""
+def _shard_process(
+    model, batch, shard_id, generation, batch_id, result_q, model_version=None
+) -> None:
+    """Run one micro-batch and emit per-request result messages.
+
+    ``model_version`` rides in from the worker's spawn payload: a
+    recycled (post-swap) worker serves the new version, while a worker
+    still draining the old generation stamps the old one — results are
+    always attributed to the exact artifact that computed them.
+    """
     now = time.monotonic()
     t_model = 0.0
     live = []
@@ -320,6 +331,7 @@ def _shard_process(model, batch, shard_id, generation, batch_id, result_q) -> No
                         latency_ms=(now - request.enqueued_at) * 1000.0,
                         batch_id=batch_id,
                         shard=shard_id,
+                        model_version=model_version,
                     ),
                     now - request.enqueued_at,
                 )
@@ -349,6 +361,7 @@ def _shard_process(model, batch, shard_id, generation, batch_id, result_q) -> No
                             latency_ms=(done - request.enqueued_at) * 1000.0,
                             batch_id=batch_id,
                             shard=shard_id,
+                            model_version=model_version,
                         ),
                         now - request.enqueued_at,
                     )
@@ -371,6 +384,7 @@ def _shard_process(model, batch, shard_id, generation, batch_id, result_q) -> No
                             latency_ms=(done - request.enqueued_at) * 1000.0,
                             batch_id=batch_id,
                             shard=shard_id,
+                            model_version=model_version,
                             features=features[i],
                         ),
                         now - request.enqueued_at,
@@ -433,26 +447,22 @@ class _Pending:
 class ShardedPredictionService:
     """Multi-process sharded front-end with the PredictionService API.
 
-    Parameters mirror :class:`~repro.serve.service.PredictionService`
-    where they exist there; the sharding-specific knobs:
-
-    n_shards:
-        Worker process count (>= 1).
-    admission_budget_ms:
-        Latency budget for admission control: a request is shed with a
-        typed ``OVERLOAD`` result when its target shard's estimated
-        queue wait (inflight × EWMA per-request service time) exceeds
-        this. ``None`` disables the estimate-based check (the hard cap
-        below still applies).
-    max_queue_per_shard:
-        Hard cap on in-flight requests per shard; at the cap, submit
-        sheds with ``OVERLOAD`` regardless of the budget.
-    mp_context:
-        Multiprocessing start method; ``'spawn'`` (default) is the only
-        safe choice given the dispatcher's own threads.
-    start_timeout_s:
-        How long :meth:`start` waits for every worker to warm up and
-        report ready.
+    Parameters
+    ----------
+    model:
+        A :class:`CompiledModel` or a
+        :class:`~repro.serve.lifecycle.ModelHandle` (registry-backed
+        handles enable version-name hot-swap; see :meth:`swap`).
+    config:
+        The one :class:`~repro.serve.config.ServeConfig`. The sharded
+        tier reads the whole config, including ``n_shards`` (``0`` =
+        this tier's default of 2), ``admission_budget_ms``,
+        ``max_queue_per_shard``, ``mp_context`` and
+        ``start_timeout_s``. The historical per-knob keywords still
+        work for one release and emit a :class:`DeprecationWarning`.
+    trace / metrics:
+        Observability wiring; defaults to the no-op tracer and the
+        process-wide registry.
 
     The model's pattern bank is exported once into shared memory
     (:class:`SharedPatternBank`); the classifier travels to workers by
@@ -463,58 +473,37 @@ class ShardedPredictionService:
 
     def __init__(
         self,
-        model: CompiledModel,
+        model: CompiledModel | ModelHandle,
         *,
-        n_shards: int = 2,
-        max_batch: int = 32,
-        max_delay_ms: float = 2.0,
-        default_deadline_ms: float | None = None,
-        validate: bool = True,
-        warmup: bool = True,
-        admission_budget_ms: float | None = None,
-        max_queue_per_shard: int = 256,
-        slow_ms: float = 250.0,
-        flight_capacity: int = 128,
-        admin_port: int | None = None,
-        admin_host: str = "127.0.0.1",
-        mp_context: str = "spawn",
-        start_timeout_s: float = 120.0,
+        config: ServeConfig | None = None,
         trace=None,
         metrics: MetricsRegistry | None = None,
+        **legacy,
     ) -> None:
-        if n_shards < 1:
-            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
-        if max_batch < 1:
-            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
-        if max_delay_ms < 0:
-            raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
-        if max_queue_per_shard < 1:
-            raise ValueError(
-                f"max_queue_per_shard must be >= 1, got {max_queue_per_shard}"
-            )
-        if admission_budget_ms is not None and admission_budget_ms <= 0:
-            raise ValueError(
-                f"admission_budget_ms must be > 0, got {admission_budget_ms}"
-            )
-        self.model = model
-        self.n_shards = int(n_shards)
-        self.max_batch = int(max_batch)
-        self.max_delay_ms = float(max_delay_ms)
-        self.default_deadline_ms = default_deadline_ms
-        self.validate = bool(validate)
-        self._warmup = bool(warmup)
-        self.admission_budget_ms = admission_budget_ms
-        self.max_queue_per_shard = int(max_queue_per_shard)
-        self.slow_ms = float(slow_ms)
-        self.flight = FlightRecorder(flight_capacity)
+        config = apply_legacy_kwargs(config, legacy, owner="ShardedPredictionService")
+        self.config = config
+        self.handle = model if isinstance(model, ModelHandle) else ModelHandle(model)
+        self.n_shards = config.n_shards or 2
+        self.max_batch = config.max_batch
+        self.max_delay_ms = config.max_delay_ms
+        self.default_deadline_ms = config.default_deadline_ms
+        self.validate = config.validate
+        self._warmup = config.warmup
+        self.admission_budget_ms = config.admission_budget_ms
+        self.max_queue_per_shard = config.max_queue_per_shard
+        self.slow_ms = config.slow_ms
+        self.flight = FlightRecorder(config.flight_capacity)
         self.admin: AdminServer | None = None
-        self._admin_port = admin_port
-        self._admin_host = admin_host
-        self._mp_context = mp_context
-        self.start_timeout_s = float(start_timeout_s)
+        self._admin_port = config.admin_port
+        self._admin_host = config.admin_host
+        self._mp_context = config.mp_context
+        self.start_timeout_s = config.start_timeout_s
+        self.shadow: ShadowScorer | None = None
+        self._shadow_owns_candidate = False
+        self._swap_lock = threading.Lock()
         self.tracer = resolve_tracer(trace)
         self.metrics = metrics if metrics is not None else registry()
-        self._ctx = mp.get_context(mp_context)
+        self._ctx = mp.get_context(config.mp_context)
         self._shards = [_ShardState(i) for i in range(self.n_shards)]
         self._pending: dict[str, _Pending] = {}
         self._lock = threading.Lock()  # pending table + shard states + routing
@@ -535,6 +524,16 @@ class ShardedPredictionService:
     # -- lifecycle -------------------------------------------------------------
 
     @property
+    def model(self) -> CompiledModel:
+        """The live compiled model (hot-swappable; see :meth:`swap`)."""
+        return self.handle.model
+
+    @property
+    def model_version(self) -> str | None:
+        """The live model's version name (``None`` when untracked)."""
+        return self.handle.version
+
+    @property
     def running(self) -> bool:
         """Liveness: the dispatcher accepts requests."""
         return self._running
@@ -551,6 +550,7 @@ class ShardedPredictionService:
             "series_length": self.model.series_length,
             "rotation_invariant": self.model.rotation_invariant,
             "kernel_backend": self.model.kernel_backend,
+            "model_version": self.handle.version,
         }
 
     def _knobs(self) -> dict:
@@ -602,6 +602,7 @@ class ShardedPredictionService:
         self._stopping.clear()
         self._ready_event.clear()
         self._bank = SharedPatternBank.build(self.model)
+        self._publish_model_metrics()
         for shard in self._shards:
             self._spawn(shard)
         self._running = True
@@ -687,6 +688,7 @@ class ShardedPredictionService:
                     error_code="service-stopped",
                     error_message="service stopped before the request was answered",
                     shard=entry.shard,
+                    model_version=self.handle.version,
                 )
             )
         if self._bank is not None:
@@ -696,6 +698,7 @@ class ShardedPredictionService:
         if self.admin is not None:
             self.admin.stop()
             self.admin = None
+        self.detach_shadow()
         _log.info(
             "sharded prediction service stopped",
             extra={
@@ -709,6 +712,115 @@ class ShardedPredictionService:
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+    # -- model lifecycle -------------------------------------------------------
+
+    def _publish_model_metrics(self) -> None:
+        self.metrics.set_gauge("serve.model_version", float(self.handle.generation))
+        if self.handle.version:
+            self.metrics.set_gauge(
+                f"serve.model_version[version={self.handle.version}]",
+                float(self.handle.generation),
+            )
+
+    def swap(self, target, *, version: str | None = None, warm: bool = True) -> str:
+        """Hot-swap every shard onto a new model, dropping no requests.
+
+        The orchestration is a rolling recycle:
+
+        1. resolve + warm the incoming model in the parent and flip the
+           :class:`ModelHandle` pointer (new submissions now validate
+           against the new model; spawn payloads carry the new version);
+        2. export the new bank into a fresh shared-memory segment;
+        3. :meth:`recycle` each shard in turn — the old worker drains
+           its queue (answering with the *old* version, generation-
+           tagged), then a fresh worker attaches the new bank. With
+           ``n_shards >= 2`` the other shards keep serving throughout,
+           so readiness never flips;
+        4. close + unlink the old bank only after the last old worker
+           has exited — no worker ever maps a vanished segment.
+
+        Every accepted request resolves exactly once, stamped with the
+        version of the model that actually computed it (pinned by the
+        sharded swap test).
+        """
+        if not self._running:
+            raise RuntimeError("cannot swap a stopped service")
+        with self._swap_lock:
+            resolved = self.handle.swap(target, version=version, warm=warm)
+            old_bank = self._bank
+            self._bank = SharedPatternBank.build(self.model)
+            for shard in self._shards:
+                self.recycle(shard.shard_id)
+            old_bank.close()
+            old_bank.unlink()
+            self.metrics.inc("serve.swaps")
+            self._publish_model_metrics()
+        _log.info(
+            "sharded model hot-swapped",
+            extra={
+                "version": resolved,
+                "generation": self.handle.generation,
+                "model": self.model.describe(),
+            },
+        )
+        return resolved
+
+    def describe_model(self) -> dict:
+        """JSON-safe live-model state (the admin ``GET /model`` body)."""
+        info = self.handle.describe()
+        shadow = self.shadow
+        if shadow is not None:
+            info["shadow"] = shadow.report().as_record()
+        return info
+
+    def attach_shadow(
+        self,
+        candidate,
+        *,
+        version: str | None = None,
+        fraction: float | None = None,
+        max_backlog: int = 512,
+    ) -> ShadowScorer:
+        """Mirror a fraction of OK traffic onto ``candidate``.
+
+        The candidate runs in the *parent* process on the shadow
+        thread, fed from the collector after futures resolve — the
+        worker hot path never sees it.
+        """
+        if self.shadow is not None:
+            raise RuntimeError(
+                "a shadow candidate is already attached; detach_shadow() first"
+            )
+        owns = not isinstance(candidate, CompiledModel)
+        model, resolved = self.handle._resolve(candidate, version_hint=version)
+        scorer = ShadowScorer(
+            model,
+            version=resolved,
+            fraction=self.config.shadow_fraction if fraction is None else fraction,
+            max_backlog=max_backlog,
+            metrics=self.metrics,
+            flight=self.flight,
+        )
+        self._shadow_owns_candidate = owns
+        self.shadow = scorer.start()
+        return scorer
+
+    def detach_shadow(self) -> ShadowReport | None:
+        """Stop shadow scoring; returns the final report (idempotent)."""
+        scorer, self.shadow = self.shadow, None
+        if scorer is None:
+            return None
+        scorer.stop()
+        report = scorer.report()
+        if self._shadow_owns_candidate:
+            scorer.candidate.close()
+        self._shadow_owns_candidate = False
+        return report
+
+    def shadow_report(self) -> ShadowReport | None:
+        """The live shadow run's aggregate so far (``None`` when off)."""
+        return None if self.shadow is None else self.shadow.report()
 
     # -- routing & admission ---------------------------------------------------
 
@@ -798,6 +910,7 @@ class ShardedPredictionService:
                         status=ResultStatus.INVALID,
                         error_code=code,
                         error_message=message,
+                        model_version=self.handle.version,
                     )
                 )
                 return future
@@ -842,6 +955,7 @@ class ShardedPredictionService:
                         status=ResultStatus.OVERLOAD,
                         error_code="over-capacity",
                         error_message=why,
+                        model_version=self.handle.version,
                     )
                 )
                 return future
@@ -975,6 +1089,16 @@ class ShardedPredictionService:
             self.metrics.inc("serve.deadline_misses")
         entry.future.set_result(result)
         self._record_flight(entry.request, result, queue_wait_s)
+        # Shadow mirroring happens here on the collector thread, after
+        # the future resolved — off the request latency path.
+        shadow = self.shadow
+        if shadow is not None and result.status is ResultStatus.OK:
+            shadow.offer(
+                result.request_id,
+                entry.request.series,
+                result.label,
+                result.latency_ms,
+            )
 
     def _record_flight(self, request, result, queue_wait_s) -> None:
         if not self.flight.enabled:
@@ -1106,6 +1230,7 @@ class ShardedPredictionService:
                         error_code="no-live-shard",
                         error_message="every shard worker crash-looped",
                         shard=shard.shard_id,
+                        model_version=self.handle.version,
                     )
                 )
 

@@ -85,6 +85,11 @@ class PredictionResult:
     #: Which shard of a sharded tier answered (``None`` single-process,
     #: or for requests rejected before routing).
     shard: int | None = None
+    #: Version of the model that produced (or rejected) this result —
+    #: during a hot-swap, results computed by the outgoing model carry
+    #: the outgoing version, so callers can always attribute a
+    #: prediction to the exact artifact that made it.
+    model_version: str | None = None
     features: np.ndarray | None = field(default=None, repr=False)
 
     @property

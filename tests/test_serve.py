@@ -22,6 +22,7 @@ from repro.serve import (
     CompiledModel,
     PredictionService,
     ResultStatus,
+    ServeConfig,
     validate_series,
 )
 
@@ -102,13 +103,19 @@ class TestCompiledModel:
 
 class TestPredictionService:
     def test_batched_predictions_bitwise_equal_direct(self, fitted, compiled, tiny_gun):
-        with PredictionService(compiled, max_batch=8, max_delay_ms=5.0) as service:
+        with PredictionService(
+            compiled,
+            config=ServeConfig(max_batch=8, max_delay_ms=5.0),
+        ) as service:
             labels = service.predict(tiny_gun.X_test)
         np.testing.assert_array_equal(labels, fitted.predict(tiny_gun.X_test))
 
     def test_one_by_one_equals_batched(self, fitted, compiled, tiny_gun):
         X = tiny_gun.X_test[:6]
-        with PredictionService(compiled, max_batch=1, max_delay_ms=0.0) as service:
+        with PredictionService(
+            compiled,
+            config=ServeConfig(max_batch=1, max_delay_ms=0.0),
+        ) as service:
             singles = [service.predict_one(row) for row in X]
         assert all(r.ok for r in singles)
         np.testing.assert_array_equal(
@@ -142,7 +149,9 @@ class TestPredictionService:
     def test_expired_deadline_yields_timeout(self, compiled, tiny_gun):
         metrics = MetricsRegistry()
         with PredictionService(
-            compiled, max_delay_ms=20.0, metrics=metrics
+            compiled,
+            config=ServeConfig(max_delay_ms=20.0),
+            metrics=metrics,
         ) as service:
             result = service.predict_one(tiny_gun.X_test[0], deadline_ms=0.0)
         assert result.status is ResultStatus.TIMEOUT
@@ -157,14 +166,17 @@ class TestPredictionService:
                 service.predict(X)
 
     def test_stop_drains_queued_requests(self, compiled, tiny_gun):
-        service = PredictionService(compiled, max_batch=4, max_delay_ms=50.0, warmup=False)
+        service = PredictionService(
+            compiled,
+            config=ServeConfig(max_batch=4, max_delay_ms=50.0, warmup=False),
+        )
         service.start()
         futures = [service.submit(row) for row in tiny_gun.X_test[:10]]
         service.stop()
         assert all(f.result(timeout=1.0).ok for f in futures)
 
     def test_submit_requires_running_service(self, compiled, tiny_gun):
-        service = PredictionService(compiled, warmup=False)
+        service = PredictionService(compiled, config=ServeConfig(warmup=False))
         with pytest.raises(RuntimeError, match="not running"):
             service.submit(tiny_gun.X_test[0])
 
@@ -178,7 +190,8 @@ class TestPredictionService:
         rows = tiny_gun.X_test
         for _ in range(20):
             service = PredictionService(
-                compiled, max_batch=4, max_delay_ms=5.0, warmup=False
+                compiled,
+                config=ServeConfig(max_batch=4, max_delay_ms=5.0, warmup=False),
             )
             service.start()
             futures: list = []
@@ -211,7 +224,7 @@ class TestPredictionService:
         # of predict_many instead of producing typed per-row results.
         m = tiny_gun.X_test.shape[1]
         rows = [tiny_gun.X_test[0], np.zeros(m // 2), tiny_gun.X_test[1]]
-        with PredictionService(compiled, warmup=False) as service:
+        with PredictionService(compiled, config=ServeConfig(warmup=False)) as service:
             results = service.predict_many(rows)
         assert results[0].ok and results[2].ok
         assert results[1].status is ResultStatus.INVALID
@@ -222,7 +235,10 @@ class TestPredictionService:
         # ``metrics=``, the service lands its counters in the scoped
         # process-global registry, and nothing leaks out of the scope.
         with scoped_registry() as metrics:
-            with PredictionService(compiled, warmup=False) as service:
+            with PredictionService(
+                compiled,
+                config=ServeConfig(warmup=False),
+            ) as service:
                 service.predict(tiny_gun.X_test[:5])
             snap = metrics.snapshot()
         assert snap["counters"]["serve.requests"] == 5
@@ -234,9 +250,9 @@ class TestPredictionService:
 
     def test_rejects_bad_knobs(self, compiled):
         with pytest.raises(ValueError, match="max_batch"):
-            PredictionService(compiled, max_batch=0)
+            PredictionService(compiled, config=ServeConfig(max_batch=0))
         with pytest.raises(ValueError, match="max_delay_ms"):
-            PredictionService(compiled, max_delay_ms=-1.0)
+            PredictionService(compiled, config=ServeConfig(max_delay_ms=-1.0))
 
 
 class TestValidateSeries:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 import re
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -36,6 +37,7 @@ from repro.serve import (
     FlightRecorder,
     PredictionService,
     ResultStatus,
+    ServeConfig,
 )
 
 PROMETHEUS_SAMPLE = re.compile(
@@ -67,7 +69,7 @@ def _get(url: str) -> tuple[int, str]:
 
 class TestHealthAndReadiness:
     def test_transitions_around_lifecycle(self, compiled):
-        service = PredictionService(compiled, warmup=True)
+        service = PredictionService(compiled, config=ServeConfig(warmup=True))
         with AdminServer(service) as admin:
             # Not started: alive=no, ready=no.
             status, body = _get(admin.url("/healthz"))
@@ -88,7 +90,10 @@ class TestHealthAndReadiness:
             assert status == 503
 
     def test_embedded_admin_starts_and_stops_with_service(self, compiled):
-        service = PredictionService(compiled, warmup=False, admin_port=0)
+        service = PredictionService(
+            compiled,
+            config=ServeConfig(warmup=False, admin_port=0),
+        )
         with service:
             assert service.admin is not None
             url = service.admin.url("/healthz")
@@ -99,7 +104,10 @@ class TestHealthAndReadiness:
             urllib.request.urlopen(url, timeout=0.5)
 
     def test_index_lists_routes_and_unknown_is_404(self, compiled):
-        with PredictionService(compiled, warmup=False, admin_port=0) as service:
+        with PredictionService(
+            compiled,
+            config=ServeConfig(warmup=False, admin_port=0),
+        ) as service:
             status, body = _get(service.admin.url("/"))
             assert status == 200
             assert "/debug/requests" in json.loads(body)["routes"]
@@ -111,7 +119,10 @@ class TestMetricsEndpoint:
     def test_prometheus_text_is_valid_and_counts_requests(self, compiled, tiny_gun):
         metrics_url = None
         with scoped_registry():
-            with PredictionService(compiled, warmup=False, admin_port=0) as service:
+            with PredictionService(
+                compiled,
+                config=ServeConfig(warmup=False, admin_port=0),
+            ) as service:
                 service.predict(tiny_gun.X_test[:5])
                 metrics_url = service.admin.url("/metrics")
                 status, body = _get(metrics_url)
@@ -126,7 +137,10 @@ class TestMetricsEndpoint:
 
     def test_json_view_matches_prometheus_counts(self, compiled, tiny_gun):
         with scoped_registry():
-            with PredictionService(compiled, warmup=False, admin_port=0) as service:
+            with PredictionService(
+                compiled,
+                config=ServeConfig(warmup=False, admin_port=0),
+            ) as service:
                 service.predict(tiny_gun.X_test[:3])
                 status, body = _get(service.admin.url("/metrics.json"))
         assert status == 200
@@ -180,7 +194,8 @@ class TestFlightRecorder:
         """Expired-deadline submits from many threads each land one entry."""
         rows = tiny_gun.X_test[:8]
         with PredictionService(
-            compiled, warmup=False, max_delay_ms=10.0, flight_capacity=64
+            compiled,
+            config=ServeConfig(warmup=False, max_delay_ms=10.0, flight_capacity=64),
         ) as service:
             futures = [None] * len(rows)
 
@@ -197,7 +212,14 @@ class TestFlightRecorder:
             results = [f.result(timeout=5.0) for f in futures]
             assert all(r.status is ResultStatus.TIMEOUT for r in results)
             for r in results:
+                # Futures resolve *before* flight capture (recording
+                # never sits on the latency path), so allow the worker
+                # a moment to finish writing the batch's entries.
+                deadline = time.monotonic() + 5.0
                 entry = service.flight.find(r.request_id)
+                while entry is None and time.monotonic() < deadline:
+                    time.sleep(0.005)
+                    entry = service.flight.find(r.request_id)
                 assert entry is not None
                 assert entry.reason == "timeout"
                 assert entry.batch_id == r.batch_id
@@ -206,7 +228,11 @@ class TestFlightRecorder:
 class TestRequestCorrelation:
     def test_id_round_trip_submit_result_span_flight(self, compiled, tiny_gun):
         tracer = Tracer()
-        with PredictionService(compiled, warmup=False, trace=tracer) as service:
+        with PredictionService(
+            compiled,
+            config=ServeConfig(warmup=False),
+            trace=tracer,
+        ) as service:
             result = service.predict_one(tiny_gun.X_test[0], deadline_ms=0.0)
         assert result.status is ResultStatus.TIMEOUT
         assert result.request_id.startswith("req-")
@@ -228,7 +254,8 @@ class TestRequestCorrelation:
 
     def test_debug_requests_lookup_by_result_id(self, compiled, tiny_gun):
         with PredictionService(
-            compiled, warmup=False, max_delay_ms=10.0, admin_port=0
+            compiled,
+            config=ServeConfig(warmup=False, max_delay_ms=10.0, admin_port=0),
         ) as service:
             result = service.predict_one(tiny_gun.X_test[0], deadline_ms=0.0)
             status, body = _get(
@@ -256,7 +283,8 @@ class TestRequestCorrelation:
         # slow_ms=0.0001: every OK request counts as slow; the flight
         # span subtree comes from the throwaway per-batch tracer.
         with PredictionService(
-            compiled, warmup=False, slow_ms=0.0001, flight_capacity=8
+            compiled,
+            config=ServeConfig(warmup=False, slow_ms=0.0001, flight_capacity=8),
         ) as service:
             result = service.predict_one(tiny_gun.X_test[0])
         assert result.ok
@@ -266,7 +294,7 @@ class TestRequestCorrelation:
         assert any(s["name"] == "serve.batch" for s in entry.spans)
 
     def test_invalid_requests_are_captured(self, compiled):
-        with PredictionService(compiled, warmup=False) as service:
+        with PredictionService(compiled, config=ServeConfig(warmup=False)) as service:
             result = service.predict_one(np.zeros(3))
         assert result.status is ResultStatus.INVALID
         entry = service.flight.find(result.request_id)
@@ -276,17 +304,23 @@ class TestRequestCorrelation:
 
     def test_healthy_fast_requests_stay_unrecorded(self, compiled, tiny_gun):
         with PredictionService(
-            compiled, warmup=False, slow_ms=60_000.0
+            compiled,
+            config=ServeConfig(warmup=False, slow_ms=60_000.0),
         ) as service:
             service.predict(tiny_gun.X_test[:4])
             assert len(service.flight) == 0
 
     def test_anomaly_log_lines_carry_the_request_id(self, compiled, tiny_gun, caplog):
         with caplog.at_level("WARNING", logger="repro.serve"):
-            with PredictionService(compiled, warmup=False) as service:
+            with PredictionService(
+                compiled,
+                config=ServeConfig(warmup=False),
+            ) as service:
                 result = service.predict_one(tiny_gun.X_test[0], deadline_ms=0.0)
         matching = [
-            r for r in caplog.records if getattr(r, "request_id", None) == result.request_id
+            r
+            for r in caplog.records
+            if getattr(r, "request_id", None) == result.request_id
         ]
         assert matching, "no log line carried the request ID"
         assert matching[0].batch_id == result.batch_id
@@ -297,10 +331,11 @@ class TestAdminIsAnObserver:
         self, fitted, compiled, tiny_gun
     ):
         expected = fitted.predict(tiny_gun.X_test)
-        with PredictionService(compiled, warmup=False) as plain:
+        with PredictionService(compiled, config=ServeConfig(warmup=False)) as plain:
             baseline = plain.predict(tiny_gun.X_test)
         with PredictionService(
-            compiled, warmup=False, admin_port=0, slow_ms=0.0001
+            compiled,
+            config=ServeConfig(warmup=False, admin_port=0, slow_ms=0.0001),
         ) as service:
             # Scrape while predicting to exercise concurrent reads.
             labels = service.predict(tiny_gun.X_test)
@@ -313,7 +348,8 @@ class TestAdminIsAnObserver:
         self, fitted, compiled, tiny_gun
     ):
         with PredictionService(
-            compiled, warmup=False, flight_capacity=0
+            compiled,
+            config=ServeConfig(warmup=False, flight_capacity=0),
         ) as service:
             labels = service.predict(tiny_gun.X_test)
         np.testing.assert_array_equal(labels, fitted.predict(tiny_gun.X_test))

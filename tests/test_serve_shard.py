@@ -39,6 +39,7 @@ from repro.serve import (
     CompiledModel,
     PredictionService,
     ResultStatus,
+    ServeConfig,
     SharedPatternBank,
     ShardedPredictionService,
 )
@@ -66,7 +67,9 @@ def sharded_metrics():
 def sharded(compiled, sharded_metrics):
     """A running two-shard service shared by the read-only tests."""
     with ShardedPredictionService(
-        compiled, n_shards=2, warmup=False, metrics=sharded_metrics
+        compiled,
+        config=ServeConfig(n_shards=2, warmup=False),
+        metrics=sharded_metrics,
     ) as service:
         yield service
 
@@ -137,7 +140,7 @@ class TestShardedEquivalence:
         self, sharded, fitted, compiled, tiny_gun
     ):
         expected = fitted.predict(tiny_gun.X_test)
-        with PredictionService(compiled, warmup=False) as single:
+        with PredictionService(compiled, config=ServeConfig(warmup=False)) as single:
             np.testing.assert_array_equal(single.predict(tiny_gun.X_test), expected)
         np.testing.assert_array_equal(sharded.predict(tiny_gun.X_test), expected)
 
@@ -164,17 +167,34 @@ class TestShardedEquivalence:
         assert results[1].error_code == "bad-length"
 
     def test_submit_requires_running_service(self, compiled, tiny_gun):
-        service = ShardedPredictionService(compiled, n_shards=1, warmup=False)
+        service = ShardedPredictionService(
+            compiled,
+            config=ServeConfig(n_shards=1, warmup=False),
+        )
         with pytest.raises(RuntimeError, match="not running"):
             service.submit(tiny_gun.X_test[0])
 
     def test_rejects_bad_knobs(self, compiled):
+        # Knob validation lives in ServeConfig now; the legacy per-knob
+        # keywords route through it and reject identically.
         with pytest.raises(ValueError, match="n_shards"):
-            ShardedPredictionService(compiled, n_shards=0)
+            ServeConfig(n_shards=-1)
         with pytest.raises(ValueError, match="max_queue_per_shard"):
-            ShardedPredictionService(compiled, max_queue_per_shard=0)
+            ShardedPredictionService(
+                compiled,
+                config=ServeConfig(max_queue_per_shard=0),
+            )
         with pytest.raises(ValueError, match="admission_budget_ms"):
-            ShardedPredictionService(compiled, admission_budget_ms=0.0)
+            ShardedPredictionService(
+                compiled,
+                config=ServeConfig(admission_budget_ms=0.0),
+            )
+
+    def test_n_shards_zero_means_tier_default(self, compiled):
+        # In the redesigned API n_shards=0 is "use the tier default"
+        # (the single-process service ignores it), not an error.
+        service = ShardedPredictionService(compiled, config=ServeConfig())
+        assert service.n_shards == 2
 
 
 class TestAdmissionControl:
@@ -182,10 +202,9 @@ class TestAdmissionControl:
         metrics = MetricsRegistry()
         with ShardedPredictionService(
             compiled,
-            n_shards=1,
-            warmup=False,
-            max_queue_per_shard=1,
-            max_delay_ms=0.0,
+            config=ServeConfig(
+                n_shards=1, warmup=False, max_queue_per_shard=1, max_delay_ms=0.0
+            ),
             metrics=metrics,
         ) as service:
             futures = [service.submit(row) for row in tiny_gun.X_test]
@@ -207,10 +226,9 @@ class TestAdmissionControl:
     def test_overload_lands_in_the_flight_recorder(self, compiled, tiny_gun):
         with ShardedPredictionService(
             compiled,
-            n_shards=1,
-            warmup=False,
-            max_queue_per_shard=1,
-            max_delay_ms=0.0,
+            config=ServeConfig(
+                n_shards=1, warmup=False, max_queue_per_shard=1, max_delay_ms=0.0
+            ),
             metrics=MetricsRegistry(),
         ) as service:
             futures = [service.submit(row) for row in tiny_gun.X_test[:8]]
@@ -227,9 +245,7 @@ class TestWorkerLoss:
         expected = fitted.predict(tiny_gun.X_test)
         with ShardedPredictionService(
             compiled,
-            n_shards=2,
-            warmup=False,
-            max_delay_ms=20.0,
+            config=ServeConfig(n_shards=2, warmup=False, max_delay_ms=20.0),
             metrics=metrics,
         ) as service:
             futures = [service.submit(row) for row in tiny_gun.X_test]
@@ -249,7 +265,9 @@ class TestWorkerLoss:
     ):
         metrics = MetricsRegistry()
         with ShardedPredictionService(
-            compiled, n_shards=2, warmup=False, metrics=metrics
+            compiled,
+            config=ServeConfig(n_shards=2, warmup=False),
+            metrics=metrics,
         ) as service:
             before = [s["generation"] for s in service.shard_states()]
             service.recycle(1)
@@ -284,9 +302,7 @@ class TestShardObservability:
     def test_admin_shards_route(self, compiled, tiny_gun):
         with ShardedPredictionService(
             compiled,
-            n_shards=1,
-            warmup=False,
-            admin_port=0,
+            config=ServeConfig(n_shards=1, warmup=False, admin_port=0),
             metrics=MetricsRegistry(),
         ) as service:
             with urllib.request.urlopen(service.admin.url("/shards")) as response:
@@ -296,7 +312,9 @@ class TestShardObservability:
 
     def test_single_process_service_has_no_shards_route(self, compiled):
         with PredictionService(
-            compiled, warmup=False, admin_port=0, metrics=MetricsRegistry()
+            compiled,
+            config=ServeConfig(warmup=False, admin_port=0),
+            metrics=MetricsRegistry(),
         ) as service:
             url = service.admin.url("/shards")
             try:
