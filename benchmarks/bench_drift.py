@@ -1,0 +1,204 @@
+"""Drift monitoring overhead: the monitor must stay off the latency path.
+
+Two questions, answered on a small trained model:
+
+* **Overhead** — closed-loop clients against the single-process
+  service with a :class:`DriftMonitor` attached (ingesting every
+  request) vs monitor off: p99 with the monitor on may not exceed the
+  off p99 by more than :data:`DRIFT_P99_FACTOR` (plus a small absolute
+  slack for timer noise on tiny latencies). The monitor folds feature
+  rows into sketches on its own drain thread; `observe` on the hot
+  path is a lock-append of references.
+* **Equivalence** — predictions with the monitor attached are asserted
+  bitwise identical to the in-process ``RPMClassifier.predict`` before
+  the load runs, and the in-distribution replay must *not* alert.
+
+Results go to ``benchmarks/results/BENCH_drift.json`` (machine
+readable, kept as a CI artifact) and ``results/drift.txt`` (the human
+summary). Run stand-alone with ``python benchmarks/bench_drift.py`` or
+through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import harness  # noqa: E402
+from repro import RPMClassifier, SaxParams  # noqa: E402
+from repro.data import load  # noqa: E402
+from repro.obs import registry, scoped_registry  # noqa: E402
+from repro.obs.sketch import ReferenceDistribution  # noqa: E402
+from repro.serve import (  # noqa: E402
+    CompiledModel,
+    PredictionService,
+    ServeConfig,
+)
+
+JSON_NAME = "BENCH_drift.json"
+CLIENTS = 4
+DURATION_S = 1.5
+#: Drift ingestion must stay off the latency path: with the monitor
+#: folding 100% of traffic, closed-loop p99 may not exceed the
+#: monitor-off p99 by more than this factor (plus absolute slack).
+DRIFT_P99_FACTOR = 1.5
+DRIFT_P99_SLACK_MS = 2.0
+
+
+def _requests(dataset, n: int = 64) -> np.ndarray:
+    reps = int(np.ceil(n / dataset.X_test.shape[0]))
+    return np.tile(dataset.X_test, (reps, 1))[:n]
+
+
+def _closed_loop(service, X: np.ndarray) -> tuple[float, int]:
+    """CLIENTS closed-loop threads: submit, block, repeat."""
+    stop_at = time.perf_counter() + DURATION_S
+    counts = [0] * CLIENTS
+    failures: list = []
+
+    def client(k: int) -> None:
+        i = k
+        while time.perf_counter() < stop_at:
+            result = service.predict_one(X[i % len(X)], wait_s=60.0)
+            if not result.ok:
+                failures.append(result)
+            counts[k] += 1
+            i += CLIENTS
+
+    threads = [
+        threading.Thread(target=client, args=(k,), name=f"load-client-{k}")
+        for k in range(CLIENTS)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    assert not failures, f"{len(failures)} non-OK results under closed-loop load"
+    return sum(counts) / elapsed, sum(counts)
+
+
+def _latency_quantiles(delta: dict) -> dict:
+    lat = delta["histograms"].get("serve.latency_seconds", {})
+    return {q: lat.get(q, 0.0) * 1000.0 for q in ("p50", "p95", "p99")}
+
+
+def run_bench() -> str:
+    dataset = load("ItalyPowerSim")
+    clf = RPMClassifier(sax_params=SaxParams(12, 4, 4), seed=0)
+    clf.fit(dataset.X_train, dataset.y_train)
+    X = _requests(dataset)
+    expected = clf.predict(X)
+
+    # Reference from the replay pool itself — the exact distribution
+    # the closed-loop clients will offer, so the run must end
+    # un-alerted. (The training set would be the production choice, but
+    # a 64-row tiled pool is a deliberately narrow sample of it and the
+    # recent-window PSI would correctly flag that; this benchmark
+    # measures overhead, not detection.)
+    ref_model = CompiledModel.from_classifier(clf)
+    reference = ReferenceDistribution.from_features(
+        ref_model.transform(X), X, source="bench-replay-pool"
+    )
+    ref_model.close()
+
+    quantiles: dict = {}
+    throughput: dict = {}
+    drift_state = None
+    for mode in ("monitor-off", "monitor-on"):
+        model = CompiledModel.from_classifier(clf)
+        with scoped_registry():
+            with PredictionService(
+                model, config=ServeConfig(max_batch=32, max_delay_ms=2.0)
+            ) as service:
+                if mode == "monitor-on":
+                    service.attach_drift(reference)
+                # Equivalence first, always on: monitoring must be an
+                # observer — bit-for-bit the in-process classifier.
+                np.testing.assert_array_equal(service.predict(X), expected)
+                baseline = registry().snapshot()
+                rate, completed = _closed_loop(service, X)
+                drift = service.detach_drift()
+                if drift is not None:
+                    drift_state = drift
+                    assert not drift["alert"], (
+                        "in-distribution replay raised a drift alert: "
+                        f"score {drift['score']:.4f} > {drift['threshold']}"
+                    )
+            quantiles[mode] = _latency_quantiles(registry().delta(baseline))
+        throughput[mode] = {"rps": round(rate, 1), "requests": completed}
+
+    p99_off = quantiles["monitor-off"]["p99"]
+    p99_on = quantiles["monitor-on"]["p99"]
+    budget = p99_off * DRIFT_P99_FACTOR + DRIFT_P99_SLACK_MS
+    assert p99_on <= budget, (
+        f"drift monitoring leaked onto the latency path: p99 {p99_on:.2f}ms "
+        f"with the monitor on vs {p99_off:.2f}ms off (budget {budget:.2f}ms)"
+    )
+
+    results_json = {
+        "clients": CLIENTS,
+        "duration_s": DURATION_S,
+        "p99_off_ms": round(p99_off, 3),
+        "p99_on_ms": round(p99_on, 3),
+        "budget_ms": round(budget, 3),
+        "factor": DRIFT_P99_FACTOR,
+        "slack_ms": DRIFT_P99_SLACK_MS,
+        "throughput": throughput,
+        "drift": {
+            "score": drift_state["score"],
+            "threshold": drift_state["threshold"],
+            "alert": drift_state["alert"],
+        },
+        "equivalence": "bitwise (monitor on == RPMClassifier.predict)",
+    }
+    path = harness.RESULTS_DIR / JSON_NAME
+    harness.RESULTS_DIR.mkdir(exist_ok=True)
+    path.write_text(json.dumps(results_json, indent=2) + "\n")
+
+    rows = [
+        [mode, f"{throughput[mode]['rps']:.0f}",
+         f"{throughput[mode]['requests']}"]
+        + [f"{quantiles[mode][q]:.2f}" for q in ("p50", "p95", "p99")]
+        for mode in ("monitor-off", "monitor-on")
+    ]
+    report = "\n".join(
+        [
+            f"Drift monitoring overhead — {CLIENTS} closed-loop clients × "
+            f"{DURATION_S}s",
+            harness.format_table(
+                ["mode", "req/s", "done", "p50 ms", "p95 ms", "p99 ms"], rows
+            ),
+            f"\np99 budget: {p99_on:.2f}ms on vs {p99_off:.2f}ms off "
+            f"(cap {budget:.2f}ms = {DRIFT_P99_FACTOR}x + "
+            f"{DRIFT_P99_SLACK_MS}ms)",
+            f"in-distribution replay: score {drift_state['score']:.4f} "
+            f"(threshold {drift_state['threshold']}, no alert)",
+            "equivalence: monitor-on predictions bitwise-identical to "
+            "RPMClassifier.predict",
+            f"json written to {path}",
+        ]
+    )
+    return report
+
+
+def test_drift_overhead(benchmark):
+    report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    harness.write_report("drift", report)
+
+
+def main() -> int:
+    harness.write_report("drift", run_bench())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

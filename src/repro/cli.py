@@ -14,12 +14,16 @@ Usage (after ``pip install -e .``; installed as both ``rpm`` and
     rpm serve --model model.npz --http-port 9100 --log-format json
     rpm serve --registry models/ --http-port 9100   # serve the promoted version
     rpm serve --registry models/ --shadow v3 --shadow-report-out shadow.json
+    rpm serve --registry models/ --drift --http-port 9100   # + GET /drift
     rpm model publish models/ model.npz      # version an artifact with lineage
+    rpm model publish models/ model.npz --reference  # + drift reference
+    rpm drift models/ --data new_traffic.txt # offline drift comparison
     rpm model list models/                   # every version + promotion marker
     rpm model promote models/ v2 --shadow-report shadow.json --max-disagreement 0.01
     rpm model rollback models/               # CURRENT back to the previous version
     rpm metrics --url http://127.0.0.1:9100  # scrape a live admin endpoint
     rpm metrics --jsonl metrics.jsonl --format prometheus
+    rpm metrics --url http://127.0.0.1:9100 --route drift  # render GET /drift
 
 ``train``/``evaluate`` accept either a registry dataset name or (when
 ``RPM_UCR_ROOT`` is set) a real UCR archive dataset. ``predict`` and
@@ -73,6 +77,8 @@ from .serve import (
     ServeConfig,
     ShadowReport,
     ShardedPredictionService,
+    build_reference,
+    offline_drift_report,
 )
 
 BASELINES = {
@@ -97,6 +103,24 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type for float flags that must be strictly positive.
+
+    Mirrors :func:`_positive_int`: a zero or negative threshold
+    (``--slow-ms 0``, ``--admission-budget-ms -5``) is a configuration
+    mistake that previously slipped through ``type=float`` and either
+    flight-recorded every request or shed all of them — reject it at
+    the parser with a usage error instead.
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be a positive number, got {value}")
     return value
 
 
@@ -352,6 +376,18 @@ def cmd_serve(args) -> int:
                     f"(fraction {scorer.fraction})",
                     file=sys.stderr,
                 )
+            if args.drift:
+                # Registry serving resolves the stored (or rebuilt)
+                # reference for the live version; bare-path serving
+                # rebuilds one from the artifact's archived features.
+                monitor = service.attach_drift(
+                    None if getattr(args, "registry", None) else args.model
+                )
+                print(
+                    f"drift monitoring on (window {monitor.window}, "
+                    f"threshold {monitor.threshold})",
+                    file=sys.stderr,
+                )
             count = 0
             for line in stream:
                 line = line.strip()
@@ -381,6 +417,14 @@ def cmd_serve(args) -> int:
                         f"shadow report written to {args.shadow_report_out}",
                         file=sys.stderr,
                     )
+            drift_state = service.detach_drift()
+            if drift_state is not None:
+                print(
+                    f"drift: score {drift_state['score']:.4f} "
+                    f"(threshold {drift_state['threshold']}, "
+                    f"alert {drift_state['alert']})",
+                    file=sys.stderr,
+                )
     finally:
         if stream is not sys.stdin:
             stream.close()
@@ -395,20 +439,56 @@ def cmd_metrics(args) -> int:
     --http-port`` process (its ``/metrics.json`` view); ``--jsonl``
     rebuilds the snapshot from a ``--metrics-out`` JSON-lines dump.
     Either renders as Prometheus text or a JSON document.
+    ``--route drift`` scrapes ``GET /drift`` instead (``--url`` only)
+    and renders its gauges through the same exporter machinery.
     """
     if args.url:
         import urllib.error
         import urllib.request
 
+        route = "/drift" if args.route == "drift" else "/metrics.json"
         try:
             with urllib.request.urlopen(
-                args.url.rstrip("/") + "/metrics.json", timeout=args.timeout
+                args.url.rstrip("/") + route, timeout=args.timeout
             ) as response:
-                snapshot = json.load(response)
+                payload = json.load(response)
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.load(exc).get("error", "")
+            except Exception:
+                pass
+            print(
+                f"error: {args.url}{route} returned {exc.code}"
+                + (f": {detail}" if detail else ""),
+                file=sys.stderr,
+            )
+            return 1
         except urllib.error.URLError as exc:
             print(f"error: cannot scrape {args.url}: {exc}", file=sys.stderr)
             return 1
+        if args.route == "drift":
+            # The /drift body carries its values as flat gauge names
+            # under "gauges" precisely so it can ride the standard
+            # snapshot renderers below.
+            snapshot = {
+                "counters": {},
+                "gauges": payload.get("gauges", {}),
+                "histograms": {},
+            }
+            if args.format == "json":
+                print(json.dumps(payload, indent=2, sort_keys=True))
+                return 0
+        else:
+            snapshot = payload
     else:
+        if args.route == "drift":
+            print(
+                "error: --route drift scrapes a live endpoint; "
+                "it cannot render a --jsonl dump",
+                file=sys.stderr,
+            )
+            return 1
         snapshot = snapshot_from_jsonl(args.jsonl)
     if args.format == "prometheus":
         print(to_prometheus(snapshot), end="")
@@ -434,9 +514,13 @@ def cmd_model(args) -> int:
             version=args.as_version,
             parent=args.parent,
             notes=args.notes,
+            reference=args.reference,
         )
         print(f"published {mv.version} (sha256 {mv.sha256[:12]}…, "
               f"{mv.size_bytes} bytes)")
+        if mv.reference_sha256:
+            print(f"reference distribution stored "
+                  f"(sha256 {mv.reference_sha256[:12]}…)")
         return 0
     if args.model_command == "list":
         versions = reg.list_versions()
@@ -471,6 +555,74 @@ def cmd_model(args) -> int:
         print(f"rolled back to {mv.version} (CURRENT)")
         return 0
     raise ValueError(f"unknown model subcommand {args.model_command!r}")
+
+
+def cmd_drift(args) -> int:
+    """``rpm drift``: offline drift comparison against a registry version.
+
+    ``--data`` runs the version's compiled model over a UCR-format file
+    and compares the resulting feature distributions against the
+    version's training reference (stored by ``rpm model publish
+    --reference``, or rebuilt on the spot from the archived train
+    features); ``--jsonl`` instead re-judges the ``serve.drift.*``
+    gauges a monitored serve run dumped via ``--metrics-out``.
+    Exit code 0 = in distribution, 3 = the drift score exceeds the
+    threshold.
+    """
+    reg = ModelRegistry(args.registry_dir)
+    if args.jsonl:
+        snap = snapshot_from_jsonl(args.jsonl)
+        gauges = snap.get("gauges", {})
+        if "serve.drift.score" not in gauges:
+            print(
+                f"error: {args.jsonl} records no serve.drift.* gauges "
+                f"(was the serve run monitored with --drift?)",
+                file=sys.stderr,
+            )
+            return 1
+        score = float(gauges["serve.drift.score"])
+        prefix = "serve.drift.psi[column="
+        per_column = {
+            int(name[len(prefix):-1]): float(value)
+            for name, value in gauges.items()
+            if name.startswith(prefix)
+        }
+        offenders = sorted(per_column.items(), key=lambda kv: -kv[1])[:3]
+        report = {
+            "score": score,
+            "threshold": args.threshold,
+            "alert": score > args.threshold,
+            "source": args.jsonl,
+            "columns": [
+                {"column": k, "psi": per_column[k]} for k in sorted(per_column)
+            ],
+            "top_offenders": [
+                {"column": k, "psi": v} for k, v in offenders if v > 0
+            ],
+            "reference": reg.get(args.version).version,
+        }
+    else:
+        ref = reg.reference(args.version)
+        if ref is None:
+            mv = reg.get(args.version)
+            ref = build_reference(mv.path, source=f"{mv.version}/model.npz")
+        X, _ = load_ucr_file(args.data)
+        with reg.open(args.version) as model:
+            features = model.transform(X)
+        report = offline_drift_report(ref, features, X, threshold=args.threshold)
+        report["source"] = args.data
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        status = "ALERT" if report["alert"] else "ok"
+        print(
+            f"drift score {report['score']:.4f} vs threshold "
+            f"{report['threshold']} [{status}] "
+            f"({report['source']} vs {args.version})"
+        )
+        for offender in report["top_offenders"]:
+            print(f"  column {offender['column']}: psi {offender['psi']:.4f}")
+    return 3 if report["alert"] else 0
 
 
 def cmd_motifs(args) -> int:
@@ -601,9 +753,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "typed timeout result")
         p.add_argument("--no-warmup", action="store_true",
                        help="skip the warm-up batch on startup")
-        p.add_argument("--slow-ms", type=float, default=250.0,
+        p.add_argument("--slow-ms", type=_positive_float, default=250.0,
                        help="flight-record OK requests at or above this "
-                            "latency (0 disables slow capture)")
+                            "latency in milliseconds (strictly positive; "
+                            "use --flight-size 0 to disable capture)")
         p.add_argument("--flight-size", type=_nonnegative_int, default=128,
                        help="flight-recorder ring size — recent slow/error/"
                             "timeout requests kept for /debug/requests "
@@ -614,7 +767,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--shards", type=_nonnegative_int, default=0,
                        help="worker processes for the sharded serving tier "
                             "(0 = single-process service)")
-        p.add_argument("--admission-budget-ms", type=float, default=None,
+        p.add_argument("--admission-budget-ms", type=_positive_float, default=None,
                        help="shed requests with a typed OVERLOAD result when "
                             "a shard's estimated queue wait exceeds this "
                             "budget (sharded tier only)")
@@ -664,6 +817,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the final ShadowReport as JSON to PATH "
                             "on shutdown (feeds 'rpm model promote "
                             "--shadow-report')")
+    serve.add_argument("--drift", action="store_true",
+                       help="monitor live traffic for distribution drift "
+                            "against the served version's training reference "
+                            "(publish with --reference, or the reference is "
+                            "rebuilt from the artifact's archived features); "
+                            "exposes serve.drift.* gauges and GET /drift")
+    serve.add_argument("--drift-window", type=_positive_int, default=256,
+                       help="recent-window half-life in observations for the "
+                            "decayed drift sketches")
+    serve.add_argument("--drift-threshold", type=_positive_float, default=0.25,
+                       help="aggregate PSI above which the drift alert fires "
+                            "(flight-recorded on the rising edge)")
     add_serve_options(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -678,6 +843,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="a --metrics-out JSON-lines dump to render")
     metrics.add_argument("--format", choices=["prometheus", "json"],
                          default="prometheus", help="output format")
+    metrics.add_argument("--route", choices=["metrics", "drift"],
+                         default="metrics",
+                         help="admin route to render: 'metrics' = the full "
+                              "snapshot, 'drift' = GET /drift (--url only; "
+                              "json format emits the full payload)")
     metrics.add_argument("--timeout", type=float, default=5.0,
                          help="scrape timeout in seconds (--url only)")
     metrics.set_defaults(func=cmd_metrics)
@@ -697,6 +867,11 @@ def build_parser() -> argparse.ArgumentParser:
     publish.add_argument("--parent", default=None,
                          help="lineage: the already-published parent version")
     publish.add_argument("--notes", default="", help="free-form notes")
+    publish.add_argument("--reference", action="store_true",
+                         help="also compute + store the version's training "
+                              "reference distribution (reference.json, "
+                              "integrity-tracked) for drift monitoring "
+                              "('rpm serve --drift' / 'rpm drift')")
     publish.set_defaults(func=cmd_model)
 
     model_list = model_sub.add_parser(
@@ -731,6 +906,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rollback.add_argument("registry_dir", help="registry root directory")
     rollback.set_defaults(func=cmd_model)
+
+    drift = sub.add_parser(
+        "drift", help="offline drift comparison against a registry version"
+    )
+    drift.add_argument("registry_dir", help="registry root directory")
+    drift.add_argument("--version", default="current",
+                       help="registry version whose training reference to "
+                            "compare against (default: the promoted "
+                            "'current')")
+    drift_source = drift.add_mutually_exclusive_group(required=True)
+    drift_source.add_argument("--data", default=None,
+                              help="UCR-format text file to score and compare")
+    drift_source.add_argument("--jsonl", default=None,
+                              help="a --metrics-out dump from a monitored "
+                                   "serve run; its recorded serve.drift.* "
+                                   "gauges are re-judged against --threshold")
+    drift.add_argument("--threshold", type=_positive_float, default=0.25,
+                       help="aggregate PSI above which the comparison exits "
+                            "with code 3")
+    drift.add_argument("--json", action="store_true",
+                       help="emit the full report as JSON")
+    drift.set_defaults(func=cmd_drift)
 
     motifs = sub.add_parser(
         "motifs", help="discover motifs/discords in a long series"

@@ -44,21 +44,33 @@ from .metrics import (
     registry,
     scoped_registry,
 )
+from .sketch import (
+    DecayingSketch,
+    DistributionSketch,
+    ReferenceDistribution,
+    ks_distance,
+    psi,
+)
 from .tracer import NOOP, NullTracer, Span, Tracer
 
 __all__ = [
     "NOOP",
     "PROMETHEUS_CONTENT_TYPE",
     "Counter",
+    "DecayingSketch",
+    "DistributionSketch",
     "Gauge",
     "Histogram",
     "JsonLogFormatter",
     "MetricsRegistry",
     "NullTracer",
+    "ReferenceDistribution",
     "Span",
     "Tracer",
     "configure_logging",
     "format_tree",
+    "ks_distance",
+    "psi",
     "registry",
     "resolve_tracer",
     "scoped_registry",

@@ -62,6 +62,18 @@ _HELP = {
     "serve.worker_recycles": "Graceful shard worker recycles.",
     "serve.worker_deaths": "Shard workers found dead and respawned.",
     "serve.redispatched": "Accepted requests re-dispatched after a worker loss.",
+    "serve.drift.score": "Aggregate drift score: mean per-column PSI of the "
+    "recent window vs. the training reference.",
+    "serve.drift.psi": "Per-feature-column PSI vs. the training reference.",
+    "serve.drift.input_psi": "Input-statistic PSI (mean/std/length) vs. the "
+    "training reference.",
+    "serve.drift.best_match_rate": "Recent-window fraction of rows whose "
+    "closest pattern is this one.",
+    "serve.drift.alert": "1 while the drift score exceeds the alert threshold.",
+    "serve.drift.rows": "Feature rows folded into the live drift sketches.",
+    "serve.drift.dropped": "Rows dropped because the drift backlog was full.",
+    "serve.drift.evaluations": "Drift evaluations run (PSI + gauge export).",
+    "serve.drift.alerts": "Drift alert rising edges (flight-recorded).",
 }
 
 _LABELED = re.compile(r"^(?P<base>[^\[\]]+)\[(?P<labels>[^\[\]]+)\]$")

@@ -1,0 +1,507 @@
+"""Mergeable streaming sketches for distribution-drift monitoring.
+
+A served RPM model degrades silently when the input distribution moves
+away from what its representative patterns were mined on (the paper's
+medical-alarm deployment is exactly this setting: sensor recalibration
+or population shift). Detecting that movement needs a *distribution*
+summary, not just counters and quantiles — and it needs to be:
+
+* **streaming** — folded one resolved batch at a time, off the latency
+  path, at O(bins) memory regardless of traffic;
+* **mergeable** — the sharded tier folds per-shard sketches and merges
+  them in the collector, so ``merge(a, b)`` must equal folding the
+  concatenated streams (associative, pinned by the sketch test suite);
+* **serializable** — the training-time reference distribution is
+  written as ``reference.json`` next to the registry artifact and
+  loaded back at serve time.
+
+:class:`DistributionSketch` is the workhorse: a fixed-bin histogram
+over either the registry's log-bucket 1-2-5 ladder
+(:data:`~repro.obs.metrics.BUCKET_BOUNDS` — right for nonnegative
+quantities like pattern distances and lengths) or a fixed linear grid
+(right for roughly z-scored inputs such as per-series means).
+:class:`DecayingSketch` adds exponential forgetting so the live side
+answers "the recent window" instead of "everything since start-up".
+:func:`psi` / :func:`ks_distance` compare two aligned sketches;
+:class:`ReferenceDistribution` bundles the training-side sketches
+(per-feature-column distances, input stats, per-pattern best-match
+rates) into one JSON document.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .metrics import BUCKET_BOUNDS
+
+__all__ = [
+    "DecayingSketch",
+    "DistributionSketch",
+    "ReferenceDistribution",
+    "ks_distance",
+    "psi",
+]
+
+#: Linear-grid defaults for roughly z-scored input statistics. Fixed
+#: (not data-dependent) so the training-time reference and the live
+#: serving sketches always share bin edges and stay comparable.
+MEAN_RANGE = (-8.0, 8.0)
+STD_RANGE = (0.0, 8.0)
+LINEAR_BINS = 32
+
+#: Probability floor used by :func:`psi` — the classic PSI epsilon
+#: guard so empty bins contribute a finite, bounded term.
+PSI_EPS = 1e-4
+
+
+def _linear_edges(lo: float, hi: float, n_bins: int) -> tuple[float, ...]:
+    if not hi > lo:
+        raise ValueError(f"linear bins need hi > lo, got [{lo}, {hi}]")
+    if n_bins < 2:
+        raise ValueError(f"linear bins need n_bins >= 2, got {n_bins}")
+    step = (hi - lo) / n_bins
+    # Upper edges of the first n_bins-1 bins; everything above the last
+    # edge lands in the overflow bucket, mirroring the log ladder.
+    return tuple(lo + step * i for i in range(1, n_bins))
+
+
+class DistributionSketch:
+    """A fixed-bin streaming histogram that merges and serializes.
+
+    ``edges`` are ascending bucket *upper bounds*; a value lands in the
+    first bucket whose edge is >= the value (``bisect_left``), with one
+    extra overflow bucket past the last edge — the exact scheme of
+    :class:`repro.obs.metrics.Histogram`, generalized to caller-chosen
+    edges. Counts are floats so :class:`DecayingSketch` can scale them.
+    """
+
+    __slots__ = ("edges", "counts", "count", "total", "min", "max")
+
+    def __init__(self, edges=BUCKET_BOUNDS) -> None:
+        edges = tuple(float(e) for e in edges)
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError("sketch edges must be strictly ascending")
+        if not edges:
+            raise ValueError("sketch needs at least one bin edge")
+        self.edges = edges
+        self.counts = [0.0] * (len(edges) + 1)
+        self.count = 0.0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def log_bins(cls) -> "DistributionSketch":
+        """The registry's 1-2-5 log ladder (1µs … 5000): nonnegative
+        quantities — pattern distances, series lengths, latencies."""
+        return cls(BUCKET_BOUNDS)
+
+    @classmethod
+    def linear_bins(
+        cls, lo: float, hi: float, n_bins: int = LINEAR_BINS
+    ) -> "DistributionSketch":
+        """A fixed linear grid over ``[lo, hi]`` — the right shape for
+        roughly z-scored inputs where a log ladder would collapse
+        everything near zero into one bucket."""
+        return cls(_linear_edges(lo, hi, n_bins))
+
+    # -- folding ---------------------------------------------------------------
+
+    def add(self, value: float) -> None:
+        """Fold one observation (O(log bins))."""
+        value = float(value)
+        self.counts[bisect.bisect_left(self.edges, value)] += 1.0
+        self.count += 1.0
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def extend(self, values) -> None:
+        """Fold a batch of observations (vectorized)."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return
+        idx = np.searchsorted(self.edges, values, side="left")
+        for i, n in zip(*np.unique(idx, return_counts=True)):
+            self.counts[int(i)] += float(n)
+        self.count += float(values.size)
+        self.total += float(values.sum())
+        lo = float(values.min())
+        hi = float(values.max())
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+
+    def scale(self, factor: float) -> None:
+        """Multiply every count by ``factor`` (exponential forgetting)."""
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError(f"scale factor must be in [0, 1], got {factor}")
+        self.counts = [c * factor for c in self.counts]
+        self.count *= factor
+        self.total *= factor
+
+    # -- merging ---------------------------------------------------------------
+
+    def merge(self, other: "DistributionSketch") -> "DistributionSketch":
+        """A new sketch equal to folding both input streams.
+
+        Associative and commutative (``merge(a, b)`` has exactly the
+        counts of folding the concatenated streams), which is what lets
+        the sharded tier's collector aggregate per-shard sketches.
+        """
+        if self.edges != other.edges:
+            raise ValueError(
+                f"cannot merge sketches with different edges "
+                f"({len(self.edges)} vs {len(other.edges)} bins)"
+            )
+        out = DistributionSketch(self.edges)
+        out.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        out.count = self.count + other.count
+        out.total = self.total + other.total
+        out.min = min(self.min, other.min)
+        out.max = max(self.max, other.max)
+        return out
+
+    # -- reading ---------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def probabilities(self) -> np.ndarray:
+        """Per-bin probability mass (zeros when the sketch is empty)."""
+        if self.count <= 0:
+            return np.zeros(len(self.counts))
+        return np.asarray(self.counts, dtype=float) / self.count
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile, interpolated inside the crossing
+        bin and clamped to the observed [min, max] range."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count <= 0:
+            return 0.0
+        target = q * self.count
+        cum = 0.0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            prev = cum
+            cum += n
+            if cum >= target:
+                lo = self.edges[i - 1] if i > 0 else self.min
+                hi = self.edges[i] if i < len(self.edges) else self.max
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi < lo:
+                    hi = lo
+                frac = (target - prev) / n
+                return lo + frac * (hi - lo)
+        return self.max
+
+    def summary(self) -> dict:
+        """Compact JSON-safe view for live introspection (``/drift``)."""
+        empty = self.count <= 0
+        return {
+            "count": round(self.count, 3),
+            "mean": self.mean,
+            "min": None if empty else self.min,
+            "max": None if empty else self.max,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+        }
+
+    # -- serialization ---------------------------------------------------------
+
+    def as_record(self) -> dict:
+        empty = self.count <= 0
+        return {
+            "kind": "sketch",
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            # inf/-inf are not strict JSON; an empty sketch stores null.
+            "min": None if empty else self.min,
+            "max": None if empty else self.max,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "DistributionSketch":
+        out = cls(record["edges"])
+        counts = [float(c) for c in record["counts"]]
+        if len(counts) != len(out.counts):
+            raise ValueError(
+                f"sketch record has {len(counts)} counts for "
+                f"{len(out.edges)} edges"
+            )
+        out.counts = counts
+        out.count = float(record["count"])
+        out.total = float(record["total"])
+        out.min = float("inf") if record["min"] is None else float(record["min"])
+        out.max = float("-inf") if record["max"] is None else float(record["max"])
+        return out
+
+
+class DecayingSketch(DistributionSketch):
+    """A sketch with exponential forgetting: "the recent window".
+
+    Before each fold, existing counts are scaled by
+    ``0.5 ** (n_new / half_life)`` — after ``half_life`` further
+    observations, earlier traffic carries half its original weight, so
+    the sketch tracks the recent ``~half_life``-observation window
+    while a plain :class:`DistributionSketch` keeps the lifetime view.
+    Decay is driven by observation count, not wall time, so behavior is
+    deterministic and testable.
+    """
+
+    __slots__ = ("half_life",)
+
+    def __init__(self, edges=BUCKET_BOUNDS, *, half_life: float = 256.0) -> None:
+        if half_life <= 0:
+            raise ValueError(f"half_life must be > 0, got {half_life}")
+        super().__init__(edges)
+        self.half_life = float(half_life)
+
+    @classmethod
+    def log_bins(cls, *, half_life: float = 256.0) -> "DecayingSketch":
+        return cls(BUCKET_BOUNDS, half_life=half_life)
+
+    @classmethod
+    def linear_bins(
+        cls, lo: float, hi: float, n_bins: int = LINEAR_BINS, *,
+        half_life: float = 256.0,
+    ) -> "DecayingSketch":
+        return cls(_linear_edges(lo, hi, n_bins), half_life=half_life)
+
+    def add(self, value: float) -> None:
+        self.scale(0.5 ** (1.0 / self.half_life))
+        super().add(value)
+
+    def extend(self, values) -> None:
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return
+        self.scale(0.5 ** (values.size / self.half_life))
+        super().extend(values)
+
+
+# ---------------------------------------------------------------------------
+# Comparison functions
+# ---------------------------------------------------------------------------
+
+
+def _aligned_probabilities(expected, actual) -> tuple[np.ndarray, np.ndarray]:
+    if expected.edges != actual.edges:
+        raise ValueError(
+            "cannot compare sketches with different bin edges "
+            f"({len(expected.edges)} vs {len(actual.edges)})"
+        )
+    return expected.probabilities(), actual.probabilities()
+
+
+def psi(expected: DistributionSketch, actual: DistributionSketch) -> float:
+    """Population stability index between two aligned sketches.
+
+    ``sum((a_i - e_i) * ln(a_i / e_i))`` over bins, with each
+    probability floored at :data:`PSI_EPS` so empty bins contribute a
+    finite term. Conventional reading: < 0.1 stable, 0.1–0.25 drifting,
+    > 0.25 shifted. Returns 0.0 when either sketch is empty (no
+    evidence is not drift).
+    """
+    if expected.count <= 0 or actual.count <= 0:
+        return 0.0
+    e, a = _aligned_probabilities(expected, actual)
+    e = np.maximum(e, PSI_EPS)
+    a = np.maximum(a, PSI_EPS)
+    return float(np.sum((a - e) * np.log(a / e)))
+
+
+def ks_distance(expected: DistributionSketch, actual: DistributionSketch) -> float:
+    """Kolmogorov–Smirnov distance over binned CDFs: the largest
+    absolute gap between the two cumulative distributions (0 when
+    either sketch is empty)."""
+    if expected.count <= 0 or actual.count <= 0:
+        return 0.0
+    e, a = _aligned_probabilities(expected, actual)
+    return float(np.max(np.abs(np.cumsum(e) - np.cumsum(a))))
+
+
+# ---------------------------------------------------------------------------
+# Reference distribution
+# ---------------------------------------------------------------------------
+
+
+class ReferenceDistribution:
+    """The training-time distribution a live service is compared against.
+
+    Built from a model's archived training features (and optionally the
+    raw training series), carrying:
+
+    * ``columns`` — one log-bin sketch of distances per feature column
+      (= per representative pattern);
+    * ``best_match_rate`` — per-pattern fraction of training rows whose
+      closest match (argmin feature) was that pattern;
+    * ``input_mean`` / ``input_std`` — linear-bin sketches of per-row
+      mean and standard deviation (empty when the raw series were not
+      available — the model archive stores features, not inputs);
+    * ``input_length`` — log-bin sketch of input lengths.
+
+    Serialized as one JSON document (``reference.json`` in the model
+    registry, covered by the registry's sha256 integrity scheme).
+    """
+
+    FORMAT = 1
+
+    def __init__(
+        self,
+        columns: list,
+        best_match_rate: list,
+        input_mean: DistributionSketch,
+        input_std: DistributionSketch,
+        input_length: DistributionSketch,
+        *,
+        n_rows: int,
+        created_at: float | None = None,
+        source: str | None = None,
+    ) -> None:
+        self.columns = list(columns)
+        self.best_match_rate = [float(r) for r in best_match_rate]
+        if len(self.best_match_rate) != len(self.columns):
+            raise ValueError(
+                f"{len(self.columns)} columns but "
+                f"{len(self.best_match_rate)} best-match rates"
+            )
+        self.input_mean = input_mean
+        self.input_std = input_std
+        self.input_length = input_length
+        self.n_rows = int(n_rows)
+        self.created_at = time.time() if created_at is None else float(created_at)
+        self.source = source
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.columns)
+
+    @classmethod
+    def from_features(
+        cls,
+        features,
+        X=None,
+        *,
+        series_length: int | None = None,
+        source: str | None = None,
+    ) -> "ReferenceDistribution":
+        """Build a reference from a training feature matrix.
+
+        ``features`` is the (n_rows, n_patterns) pattern-distance
+        matrix (the ``train_features`` array every model archive
+        carries). ``X`` is the raw (n_rows, m) training matrix when
+        available; without it the input mean/std sketches stay empty
+        and ``series_length`` (from the artifact metadata) populates
+        the length sketch alone.
+        """
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError(
+                f"features must be 2-D (rows, columns), got {features.ndim}-D"
+            )
+        n_rows, n_cols = features.shape
+        columns = []
+        for k in range(n_cols):
+            sketch = DistributionSketch.log_bins()
+            sketch.extend(features[:, k])
+            columns.append(sketch)
+        rates = [0.0] * n_cols
+        if n_rows:
+            best = np.argmin(features, axis=1)
+            for k, n in zip(*np.unique(best, return_counts=True)):
+                rates[int(k)] = float(n) / n_rows
+        input_mean = DistributionSketch.linear_bins(*MEAN_RANGE)
+        input_std = DistributionSketch.linear_bins(*STD_RANGE)
+        input_length = DistributionSketch.log_bins()
+        if X is not None:
+            X = np.asarray(X, dtype=float)
+            if X.ndim != 2:
+                raise ValueError(f"X must be 2-D (rows, length), got {X.ndim}-D")
+            input_mean.extend(X.mean(axis=1))
+            input_std.extend(X.std(axis=1))
+            input_length.extend(np.full(X.shape[0], float(X.shape[1])))
+        elif series_length is not None:
+            input_length.extend(np.full(n_rows, float(series_length)))
+        return cls(
+            columns,
+            rates,
+            input_mean,
+            input_std,
+            input_length,
+            n_rows=n_rows,
+            source=source,
+        )
+
+    # -- serialization ---------------------------------------------------------
+
+    def as_record(self) -> dict:
+        return {
+            "format": self.FORMAT,
+            "n_rows": self.n_rows,
+            "n_columns": self.n_columns,
+            "created_at": self.created_at,
+            "source": self.source,
+            "best_match_rate": self.best_match_rate,
+            "columns": [sketch.as_record() for sketch in self.columns],
+            "input_mean": self.input_mean.as_record(),
+            "input_std": self.input_std.as_record(),
+            "input_length": self.input_length.as_record(),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "ReferenceDistribution":
+        if record.get("format") != cls.FORMAT:
+            raise ValueError(
+                f"unsupported reference format {record.get('format')!r} "
+                f"(this build reads format {cls.FORMAT})"
+            )
+        return cls(
+            [DistributionSketch.from_record(c) for c in record["columns"]],
+            record["best_match_rate"],
+            DistributionSketch.from_record(record["input_mean"]),
+            DistributionSketch.from_record(record["input_std"]),
+            DistributionSketch.from_record(record["input_length"]),
+            n_rows=record["n_rows"],
+            created_at=record["created_at"],
+            source=record.get("source"),
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(self.as_record(), indent=indent, sort_keys=True)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json(indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ReferenceDistribution":
+        return cls.from_record(json.loads(Path(path).read_text()))
+
+    def meta(self) -> dict:
+        """Header-only view (no bucket arrays) for ``/drift``."""
+        return {
+            "format": self.FORMAT,
+            "n_rows": self.n_rows,
+            "n_columns": self.n_columns,
+            "created_at": self.created_at,
+            "source": self.source,
+            "has_input_stats": self.input_mean.count > 0,
+        }

@@ -63,6 +63,12 @@ from .lifecycle import (
     ShadowReport,
     ShadowScorer,
 )
+from .monitor import (
+    DriftMonitor,
+    build_reference,
+    offline_drift_report,
+    resolve_reference,
+)
 from .service import PredictionService
 from .shard import SharedPatternBank, ShardedPredictionService
 from .types import PredictionRequest, PredictionResult, ResultStatus, validate_series
@@ -70,6 +76,7 @@ from .types import PredictionRequest, PredictionResult, ResultStatus, validate_s
 __all__ = [
     "AdminServer",
     "CompiledModel",
+    "DriftMonitor",
     "FlightRecord",
     "FlightRecorder",
     "GateDecision",

@@ -12,11 +12,14 @@ daemon thread so it never competes with the batching worker:
 * ``GET /debug/requests`` — the flight recorder, newest first;
   ``?id=req-N`` retrieves one request by the ID its
   :class:`~repro.serve.types.PredictionResult` carried, ``?limit=K``
-  caps the listing;
+  caps the listing, ``?reason=drift`` (or ``slow``/``timeout``/…)
+  keeps only entries captured for that reason;
 * ``GET /shards``   — per-shard worker status (generation, pid,
   liveness, inflight) when the bound service is a sharded tier;
 * ``GET /model``    — the live model: version, handle generation,
   bank summary, shadow report when a candidate is attached;
+* ``GET /drift``    — the drift monitor: reference meta, live sketch
+  summaries, per-column PSI and the alert state (404 while off);
 * ``POST /swap``    — hot-swap the served model (body:
   ``{"version": "v2"}`` against the service's registry, or
   ``{"path": "model.npz"}``). The **only** mutating route, and it is
@@ -48,11 +51,30 @@ _ROUTES = {
     "/readyz": "readiness (model warmed)",
     "/metrics": "Prometheus text exposition",
     "/metrics.json": "metrics snapshot as JSON",
-    "/debug/requests": "flight recorder (?id=req-N, ?limit=K)",
+    "/debug/requests": "flight recorder (?id=req-N, ?limit=K, ?reason=slow|"
+    "timeout|error|late|invalid|overload|shadow-disagree|drift)",
     "/shards": "per-shard worker status (sharded tiers only)",
     "/model": "live model version, generation and shadow report",
+    "/drift": "drift monitor: reference meta, live sketches, per-column PSI, "
+    "alert state",
     "/swap": 'POST {"version": ...} or {"path": ...} — hot-swap (loopback only)',
 }
+
+#: Every reason a flight entry can carry; ``?reason=`` filters are
+#: validated against this set so a typo gets a 400 naming the options
+#: instead of a silently empty listing.
+_FLIGHT_REASONS = frozenset(
+    {
+        "slow",
+        "timeout",
+        "error",
+        "late",
+        "invalid",
+        "overload",
+        "shadow-disagree",
+        "drift",
+    }
+)
 
 #: Peers allowed to hit the mutating ``POST /swap`` route. The check is
 #: on the *connecting* address, so even an admin server deliberately
@@ -125,6 +147,21 @@ class _AdminHandler(BaseHTTPRequestHandler):
                     )
                 else:
                     self._json(200, describe_model())
+            elif parsed.path == "/drift":
+                # Duck-typed like /shards; 404 both when the service
+                # cannot monitor drift and when monitoring is off.
+                describe_drift = getattr(service, "describe_drift", None)
+                payload = None if describe_drift is None else describe_drift()
+                if payload is None:
+                    self._json(
+                        404,
+                        {
+                            "error": "drift monitoring is not enabled "
+                            "(serve with --drift / attach_drift)"
+                        },
+                    )
+                else:
+                    self._json(200, payload)
             else:
                 self._json(404, {"error": f"no route {parsed.path!r}", "routes": _ROUTES})
         except Exception as exc:  # never kill the handler thread
@@ -209,14 +246,24 @@ class _AdminHandler(BaseHTTPRequestHandler):
             except ValueError:
                 self._json(400, {"error": "limit must be an integer"})
                 return
-        self._json(
-            200,
-            {
-                "capacity": flight.capacity,
-                "recorded_total": flight.total_recorded,
-                "entries": flight.records(limit=limit),
-            },
-        )
+        reason = query.get("reason", [None])[0]
+        if reason is not None and reason not in _FLIGHT_REASONS:
+            self._json(
+                400,
+                {
+                    "error": f"unknown reason {reason!r}",
+                    "reasons": sorted(_FLIGHT_REASONS),
+                },
+            )
+            return
+        payload = {
+            "capacity": flight.capacity,
+            "recorded_total": flight.total_recorded,
+            "entries": flight.records(limit=limit, reason=reason),
+        }
+        if reason is not None:
+            payload["reason"] = reason
+        self._json(200, payload)
 
 
 class AdminServer:

@@ -79,6 +79,20 @@ class ServeConfig:
     #: Fraction of OK traffic mirrored onto an attached shadow
     #: candidate (deterministic every-k-th sampling; ``1.0`` = all).
     shadow_fraction: float = 0.1
+    # -- drift monitoring --------------------------------------------------
+    #: Fold resolved OK traffic into live distribution sketches and
+    #: compare against the model's training reference (requires a
+    #: reference: a registry version published with ``reference=True``
+    #: or one built from the artifact at attach time).
+    drift: bool = False
+    #: Recent-window half-life of the live sketches, in observations —
+    #: after this many further rows, earlier traffic carries half its
+    #: weight in the drift comparison.
+    drift_window: int = 256
+    #: Aggregate drift score (mean per-column PSI) above which the
+    #: monitor alerts; 0.25 is the conventional "significant shift"
+    #: PSI reading.
+    drift_threshold: float = 0.25
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -119,6 +133,14 @@ class ServeConfig:
             raise ValueError(
                 f"shadow_fraction must be in (0, 1], got {self.shadow_fraction}"
             )
+        if self.drift_window < 1:
+            raise ValueError(
+                f"drift_window must be >= 1, got {self.drift_window}"
+            )
+        if self.drift_threshold <= 0:
+            raise ValueError(
+                f"drift_threshold must be > 0, got {self.drift_threshold}"
+            )
 
     # -- construction helpers --------------------------------------------------
 
@@ -153,6 +175,11 @@ class ServeConfig:
             ),
             "shadow_fraction": getattr(
                 args, "shadow_fraction", defaults.shadow_fraction
+            ),
+            "drift": getattr(args, "drift", defaults.drift),
+            "drift_window": getattr(args, "drift_window", defaults.drift_window),
+            "drift_threshold": getattr(
+                args, "drift_threshold", defaults.drift_threshold
             ),
         }
         return cls(**mapping)

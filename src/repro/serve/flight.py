@@ -101,11 +101,22 @@ class FlightRecorder:
             self._entries.append(entry)
             self._recorded += 1
 
-    def records(self, *, limit: int | None = None) -> list[dict]:
-        """Entries as plain dicts, newest first."""
+    def records(
+        self, *, limit: int | None = None, reason: str | None = None
+    ) -> list[dict]:
+        """Entries as plain dicts, newest first.
+
+        ``reason`` keeps only entries captured for that reason
+        (``slow``/``timeout``/``error``/``late``/``invalid``/
+        ``overload``/``shadow-disagree``/``drift``); the limit applies
+        after filtering, so ``limit=5, reason="drift"`` is the five
+        newest drift entries, not five entries that may contain none.
+        """
         with self._lock:
             entries = list(self._entries)
         entries.reverse()
+        if reason is not None:
+            entries = [entry for entry in entries if entry.reason == reason]
         if limit is not None:
             entries = entries[: max(0, limit)]
         return [entry.as_record() for entry in entries]

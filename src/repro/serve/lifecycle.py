@@ -115,6 +115,10 @@ class ModelVersion:
     notes: str = ""
     series_length: int | None = None
     n_patterns: int | None = None
+    #: sha256 of ``reference.json`` when the version was published with
+    #: ``reference=True`` (``None`` otherwise) — same integrity anchor
+    #: as the artifact hash, checked by :meth:`ModelRegistry.verify`.
+    reference_sha256: str | None = None
 
     def as_record(self) -> dict:
         record = asdict(self)
@@ -153,6 +157,10 @@ class ModelRegistry:
 
     def _meta_path(self, version: str) -> Path:
         return self._dir(version) / "meta.json"
+
+    def reference_path(self, version: str) -> Path:
+        """Where a version's ``reference.json`` lives (may not exist)."""
+        return self._dir(self.get(version).version) / "reference.json"
 
     @staticmethod
     def _sha256(path: Path) -> str:
@@ -199,6 +207,7 @@ class ModelRegistry:
         params: dict | None = None,
         scores: dict | None = None,
         notes: str = "",
+        reference: bool = False,
     ) -> ModelVersion:
         """Copy one ``save_model`` artifact into the registry.
 
@@ -207,7 +216,11 @@ class ModelRegistry:
         :class:`~repro.core.io.ModelFormatError` on a foreign or stale
         archive) — so nothing unreadable is ever published. ``version``
         defaults to ``v<N+1>``; ``parent`` records lineage and must
-        already be published.
+        already be published. With ``reference=True`` the training-time
+        :class:`~repro.obs.sketch.ReferenceDistribution` is computed
+        from the archived train features and stored next to the
+        artifact as ``reference.json``, hash-anchored in the version
+        metadata (see :meth:`reference`).
         """
         artifact = Path(artifact)
         clf = load_model(artifact)  # raises ModelFormatError with the path
@@ -234,6 +247,18 @@ class ModelRegistry:
             tmp_path = Path(tmp.name)
         shutil.copyfile(artifact, tmp_path)
         os.replace(tmp_path, target)
+        reference_sha256 = None
+        if reference:
+            # Local import: monitor depends only on obs + flight, so
+            # lifecycle -> monitor is acyclic, but keeping it out of the
+            # module header makes the one-way direction explicit.
+            from .monitor import build_reference
+
+            ref = build_reference(target, source=f"{version}/model.npz")
+            ref_tmp = target_dir / "reference.json.tmp"
+            ref.save(ref_tmp)
+            os.replace(ref_tmp, target_dir / "reference.json")
+            reference_sha256 = self._sha256(target_dir / "reference.json")
         mv = ModelVersion(
             version=version,
             path=target,
@@ -247,6 +272,7 @@ class ModelRegistry:
             notes=notes,
             series_length=getattr(clf, "n_timesteps_", None),
             n_patterns=len(clf.patterns_),
+            reference_sha256=reference_sha256,
         )
         self._write_meta(mv)
         _log.info(
@@ -276,7 +302,12 @@ class ModelRegistry:
         return self._read_meta(version)
 
     def verify(self, version: str) -> ModelVersion:
-        """Integrity check: the artifact's bytes still match publish."""
+        """Integrity check: the artifact's bytes still match publish.
+
+        Versions published with ``reference=True`` additionally verify
+        their ``reference.json`` against the recorded hash — a tampered
+        or deleted reference fails as loudly as a tampered model.
+        """
         mv = self.get(version)
         actual = self._sha256(mv.path)
         if actual != mv.sha256:
@@ -284,7 +315,32 @@ class ModelRegistry:
                 f"artifact for version {mv.version!r} fails its integrity "
                 f"check (sha256 {actual[:12]}… != published {mv.sha256[:12]}…)"
             )
+        if mv.reference_sha256 is not None:
+            ref_path = mv.path.parent / "reference.json"
+            if not ref_path.exists():
+                raise RegistryIntegrityError(
+                    f"version {mv.version!r} was published with a reference "
+                    f"distribution but {ref_path} is missing"
+                )
+            actual_ref = self._sha256(ref_path)
+            if actual_ref != mv.reference_sha256:
+                raise RegistryIntegrityError(
+                    f"reference.json for version {mv.version!r} fails its "
+                    f"integrity check (sha256 {actual_ref[:12]}… != published "
+                    f"{mv.reference_sha256[:12]}…)"
+                )
         return mv
+
+    def reference(self, version: str = CURRENT):
+        """The integrity-verified
+        :class:`~repro.obs.sketch.ReferenceDistribution` of a version,
+        or ``None`` when the version was published without one."""
+        from ..obs.sketch import ReferenceDistribution
+
+        mv = self.verify(version)
+        if mv.reference_sha256 is None:
+            return None
+        return ReferenceDistribution.load(mv.path.parent / "reference.json")
 
     def retire(self, version: str) -> ModelVersion:
         """Mark a version retired (refused while it is CURRENT)."""

@@ -58,6 +58,7 @@ from .compiled import CompiledModel
 from .config import ServeConfig, apply_legacy_kwargs
 from .flight import FlightRecord, FlightRecorder
 from .lifecycle import ModelHandle, ShadowReport, ShadowScorer
+from .monitor import DriftMonitor, resolve_reference
 from .types import PredictionRequest, PredictionResult, ResultStatus, validate_series
 
 __all__ = ["PredictionService"]
@@ -113,6 +114,7 @@ class PredictionService:
         self._admin_host = config.admin_host
         self.shadow: ShadowScorer | None = None
         self._shadow_owns_candidate = False
+        self.drift: DriftMonitor | None = None
         self.tracer = resolve_tracer(trace)
         self.metrics = metrics if metrics is not None else registry()
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
@@ -208,6 +210,7 @@ class PredictionService:
             self.admin.stop()
             self.admin = None
         self.detach_shadow()
+        self.detach_drift()
         _log.info(
             "prediction service stopped",
             extra={
@@ -319,6 +322,69 @@ class PredictionService:
     def shadow_report(self) -> ShadowReport | None:
         """The live shadow run's aggregate so far (``None`` when off)."""
         return None if self.shadow is None else self.shadow.report()
+
+    # -- drift monitoring ------------------------------------------------------
+
+    def attach_drift(
+        self,
+        reference=None,
+        *,
+        window: int | None = None,
+        threshold: float | None = None,
+        max_backlog: int = 4096,
+    ) -> DriftMonitor:
+        """Compare live traffic against a training reference, off-path.
+
+        ``reference`` resolves like
+        :func:`~repro.serve.monitor.resolve_reference`: an explicit
+        :class:`~repro.obs.sketch.ReferenceDistribution`, a
+        ``reference.json`` / ``.npz`` path, or ``None`` to use the
+        served registry version's published reference. Folding and PSI
+        evaluation run on the monitor's own thread after futures
+        resolve, so predictions stay bitwise identical with the monitor
+        on or off (pinned by the drift suite and ``bench_drift.py``).
+        """
+        if self.drift is not None:
+            raise RuntimeError(
+                "a drift monitor is already attached; detach_drift() first"
+            )
+        ref = resolve_reference(
+            reference, self.handle, n_columns=self.model.n_patterns
+        )
+        monitor = DriftMonitor(
+            ref,
+            window=self.config.drift_window if window is None else window,
+            threshold=(
+                self.config.drift_threshold if threshold is None else threshold
+            ),
+            max_backlog=max_backlog,
+            metrics=self.metrics,
+            flight=self.flight,
+        )
+        self.drift = monitor.start()
+        _log.info(
+            "drift monitor attached",
+            extra={
+                "window": monitor.window,
+                "threshold": monitor.threshold,
+                "reference": ref.meta(),
+            },
+        )
+        return monitor
+
+    def detach_drift(self) -> dict | None:
+        """Stop drift monitoring; returns the final evaluation payload
+        (``None`` when no monitor was attached or nothing was folded)."""
+        monitor, self.drift = self.drift, None
+        if monitor is None:
+            return None
+        monitor.stop()
+        return monitor.flush()
+
+    def describe_drift(self) -> dict | None:
+        """The live monitor's state (the admin ``GET /drift`` body);
+        ``None`` when drift monitoring is off."""
+        return None if self.drift is None else self.drift.describe()
 
     # -- submission ------------------------------------------------------------
 
@@ -579,6 +645,16 @@ class PredictionService:
                         request.series,
                         result.label,
                         result.latency_ms,
+                    )
+        drift = self.drift
+        if drift is not None:
+            for request, result in outcomes:
+                if result.status is ResultStatus.OK and result.features is not None:
+                    drift.observe(
+                        result.request_id,
+                        request.series,
+                        result.features,
+                        batch_id=result.batch_id,
                     )
 
     def _finish(self, request, future, result, outcomes) -> None:

@@ -63,6 +63,7 @@ from .compiled import CompiledModel, _Bucket
 from .config import ServeConfig, apply_legacy_kwargs
 from .flight import FlightRecord, FlightRecorder
 from .lifecycle import ModelHandle, ShadowReport, ShadowScorer
+from .monitor import DriftMonitor, resolve_reference
 from .types import PredictionRequest, PredictionResult, ResultStatus, validate_series
 
 __all__ = ["SharedPatternBank", "ShardedPredictionService"]
@@ -500,6 +501,7 @@ class ShardedPredictionService:
         self.start_timeout_s = config.start_timeout_s
         self.shadow: ShadowScorer | None = None
         self._shadow_owns_candidate = False
+        self.drift: DriftMonitor | None = None
         self._swap_lock = threading.Lock()
         self.tracer = resolve_tracer(trace)
         self.metrics = metrics if metrics is not None else registry()
@@ -699,6 +701,7 @@ class ShardedPredictionService:
             self.admin.stop()
             self.admin = None
         self.detach_shadow()
+        self.detach_drift()
         _log.info(
             "sharded prediction service stopped",
             extra={
@@ -821,6 +824,66 @@ class ShardedPredictionService:
     def shadow_report(self) -> ShadowReport | None:
         """The live shadow run's aggregate so far (``None`` when off)."""
         return None if self.shadow is None else self.shadow.report()
+
+    # -- drift monitoring ------------------------------------------------------
+
+    def attach_drift(
+        self,
+        reference=None,
+        *,
+        window: int | None = None,
+        threshold: float | None = None,
+        max_backlog: int = 4096,
+    ) -> DriftMonitor:
+        """Compare live traffic against a training reference, off-path.
+
+        The monitor runs in the *parent* process: the collector thread
+        offers each OK result's feature row (tagged with its shard) as
+        it resolves futures, and the monitor keeps per-shard sketches
+        that it aggregates by sketch merge at evaluation time — the
+        worker hot path never sees any of it.
+        """
+        if self.drift is not None:
+            raise RuntimeError(
+                "a drift monitor is already attached; detach_drift() first"
+            )
+        ref = resolve_reference(
+            reference, self.handle, n_columns=self.model.n_patterns
+        )
+        monitor = DriftMonitor(
+            ref,
+            window=self.config.drift_window if window is None else window,
+            threshold=(
+                self.config.drift_threshold if threshold is None else threshold
+            ),
+            max_backlog=max_backlog,
+            metrics=self.metrics,
+            flight=self.flight,
+        )
+        self.drift = monitor.start()
+        _log.info(
+            "drift monitor attached",
+            extra={
+                "window": monitor.window,
+                "threshold": monitor.threshold,
+                "reference": ref.meta(),
+            },
+        )
+        return monitor
+
+    def detach_drift(self) -> dict | None:
+        """Stop drift monitoring; returns the final evaluation payload
+        (``None`` when no monitor was attached or nothing was folded)."""
+        monitor, self.drift = self.drift, None
+        if monitor is None:
+            return None
+        monitor.stop()
+        return monitor.flush()
+
+    def describe_drift(self) -> dict | None:
+        """The live monitor's state (the admin ``GET /drift`` body);
+        ``None`` when drift monitoring is off."""
+        return None if self.drift is None else self.drift.describe()
 
     # -- routing & admission ---------------------------------------------------
 
@@ -1099,6 +1162,19 @@ class ShardedPredictionService:
                 result.label,
                 result.latency_ms,
             )
+        # Drift ingestion also happens here on the collector thread:
+        # per-shard feature rows are offered with their shard tag, and
+        # the monitor aggregates the per-shard sketches by merge.
+        drift = self.drift
+        if drift is not None and result.status is ResultStatus.OK:
+            if result.features is not None:
+                drift.observe(
+                    result.request_id,
+                    entry.request.series,
+                    result.features,
+                    batch_id=result.batch_id,
+                    shard=result.shard,
+                )
 
     def _record_flight(self, request, result, queue_wait_s) -> None:
         if not self.flight.enabled:

@@ -60,6 +60,51 @@ class TestFlagValidation:
         assert args.flight_size == 16
         assert args.slow_ms == 10.0
 
+    @pytest.mark.parametrize("flag", ["--slow-ms", "--admission-budget-ms"])
+    @pytest.mark.parametrize("value", ["0", "-5"])
+    def test_positive_float_flags_reject_non_positive(self, flag, value, capsys):
+        # Regression: both thresholds were plain `type=float`, so
+        # `--slow-ms 0` flight-recorded every request and a negative
+        # admission budget shed all of them.
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["serve", "--model", "m.npz", flag, value])
+        assert exc.value.code == 2
+        assert "must be a positive number" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--slow-ms", "--admission-budget-ms"])
+    def test_positive_float_flags_reject_garbage(self, flag, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["serve", "--model", "m.npz", flag, "fast"])
+        assert exc.value.code == 2
+        assert "expected a number" in capsys.readouterr().err
+
+    def test_positive_float_flags_accept_positive(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "m.npz",
+             "--slow-ms", "0.5", "--admission-budget-ms", "12.5"]
+        )
+        assert args.slow_ms == 0.5
+        assert args.admission_budget_ms == 12.5
+
+    def test_drift_flags_parse_and_validate(self, capsys):
+        args = build_parser().parse_args(
+            ["serve", "--model", "m.npz", "--drift",
+             "--drift-window", "64", "--drift-threshold", "0.1"]
+        )
+        assert args.drift is True
+        assert args.drift_window == 64
+        assert args.drift_threshold == 0.1
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(
+                ["serve", "--model", "m.npz", "--drift-window", "0"]
+            )
+        assert exc.value.code == 2
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(
+                ["serve", "--model", "m.npz", "--drift-threshold", "-0.2"]
+            )
+        assert exc.value.code == 2
+
     def test_serve_admin_defaults_off(self):
         args = build_parser().parse_args(["serve", "--model", "m.npz"])
         assert args.http_port is None
@@ -86,6 +131,24 @@ class TestFlagValidation:
         with pytest.raises(SystemExit):
             build_parser().parse_args(
                 ["metrics", "--url", "http://x", "--jsonl", "m.jsonl"]
+            )
+
+    def test_metrics_route_choices(self):
+        args = build_parser().parse_args(
+            ["metrics", "--url", "http://x", "--route", "drift"]
+        )
+        assert args.route == "drift"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["metrics", "--url", "http://x", "--route", "nope"]
+            )
+
+    def test_drift_requires_exactly_one_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["drift", "reg"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["drift", "reg", "--data", "d.txt", "--jsonl", "m.jsonl"]
             )
 
 

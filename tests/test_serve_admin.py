@@ -326,6 +326,117 @@ class TestRequestCorrelation:
         assert matching[0].batch_id == result.batch_id
 
 
+class TestDebugRequestsReasonFilter:
+    def test_filter_returns_only_matching_entries(self, compiled, tiny_gun):
+        with PredictionService(
+            compiled,
+            config=ServeConfig(warmup=False, max_delay_ms=10.0, admin_port=0),
+        ) as service:
+            timed_out = service.predict_one(tiny_gun.X_test[0], deadline_ms=0.0)
+            invalid = service.predict_one(np.zeros(3))
+            assert timed_out.status is ResultStatus.TIMEOUT
+            assert invalid.status is ResultStatus.INVALID
+            # Timeout capture is async (off the latency path): wait for
+            # both entries to land before filtering.
+            deadline = time.monotonic() + 5.0
+            while len(service.flight) < 2 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert len(service.flight) == 2
+
+            status, body = _get(
+                service.admin.url("/debug/requests?reason=timeout")
+            )
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["reason"] == "timeout"
+            assert [e["request_id"] for e in payload["entries"]] == [
+                timed_out.request_id
+            ]
+
+            status, body = _get(
+                service.admin.url("/debug/requests?reason=invalid")
+            )
+            payload = json.loads(body)
+            assert [e["request_id"] for e in payload["entries"]] == [
+                invalid.request_id
+            ]
+
+    def test_limit_applies_after_the_filter(self, compiled, tiny_gun):
+        with PredictionService(
+            compiled,
+            config=ServeConfig(warmup=False, max_delay_ms=10.0, admin_port=0),
+        ) as service:
+            service.predict_one(tiny_gun.X_test[0], deadline_ms=0.0)
+            for _ in range(3):
+                service.predict_one(np.zeros(3))
+            deadline = time.monotonic() + 5.0
+            while len(service.flight) < 4 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            status, body = _get(
+                service.admin.url("/debug/requests?reason=invalid&limit=2")
+            )
+            assert status == 200
+            entries = json.loads(body)["entries"]
+            assert len(entries) == 2
+            assert all(e["reason"] == "invalid" for e in entries)
+
+    def test_unknown_reason_is_a_400_listing_the_vocabulary(self, compiled):
+        with PredictionService(
+            compiled,
+            config=ServeConfig(warmup=False, admin_port=0),
+        ) as service:
+            status, body = _get(
+                service.admin.url("/debug/requests?reason=bogus")
+            )
+            assert status == 400
+            payload = json.loads(body)
+            assert "bogus" in payload["error"]
+            assert "drift" in payload["reasons"]
+            assert payload["reasons"] == sorted(payload["reasons"])
+
+
+class TestDriftRoute:
+    def test_404_with_a_hint_when_monitoring_is_off(self, compiled):
+        with PredictionService(
+            compiled,
+            config=ServeConfig(warmup=False, admin_port=0),
+        ) as service:
+            status, body = _get(service.admin.url("/drift"))
+            assert status == 404
+            assert "attach_drift" in json.loads(body)["error"]
+
+    def test_payload_when_monitoring_is_on(self, fitted, compiled, tiny_gun):
+        from repro.obs.sketch import ReferenceDistribution
+
+        features = compiled.transform(tiny_gun.X_train)
+        reference = ReferenceDistribution.from_features(
+            features, tiny_gun.X_train
+        )
+        with scoped_registry():
+            with PredictionService(
+                compiled,
+                config=ServeConfig(warmup=False, admin_port=0),
+            ) as service:
+                monitor = service.attach_drift(reference)
+                service.predict(tiny_gun.X_train[:8])
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    state = monitor.describe()
+                    if state["rows"] + state["backlog"] >= 8:
+                        break
+                    time.sleep(0.01)
+                monitor.flush()
+                status, body = _get(service.admin.url("/drift"))
+                assert status == 200
+                payload = json.loads(body)
+                assert payload["rows"] == 8
+                assert payload["reference"]["n_columns"] == compiled.n_patterns
+                assert "serve.drift.score" in payload["gauges"]
+                # The drift route shows up in the index alongside the rest.
+                status, body = _get(service.admin.url("/"))
+                assert "/drift" in json.loads(body)["routes"]
+
+
 class TestAdminIsAnObserver:
     def test_predictions_bitwise_identical_with_admin_on(
         self, fitted, compiled, tiny_gun
