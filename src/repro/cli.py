@@ -110,10 +110,9 @@ def _positive_float(text: str) -> float:
     """Argparse type for float flags that must be strictly positive.
 
     Mirrors :func:`_positive_int`: a zero or negative threshold
-    (``--slow-ms 0``, ``--admission-budget-ms -5``) is a configuration
-    mistake that previously slipped through ``type=float`` and either
-    flight-recorded every request or shed all of them — reject it at
-    the parser with a usage error instead.
+    (``--admission-budget-ms -5``) is a configuration mistake that
+    previously slipped through ``type=float`` and shed every request —
+    reject it at the parser with a usage error instead.
     """
     try:
         value = float(text)
@@ -121,6 +120,22 @@ def _positive_float(text: str) -> float:
         raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
     if not value > 0:
         raise argparse.ArgumentTypeError(f"must be a positive number, got {value}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    """Argparse type for float flags where zero means 'disabled'.
+
+    ``--slow-ms`` documents ``0`` as the explicit disable sentinel
+    (``ServeConfig`` and both tiers treat a falsy ``slow_ms`` as "no
+    slow capture"), so only negatives are configuration mistakes.
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -753,10 +768,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "typed timeout result")
         p.add_argument("--no-warmup", action="store_true",
                        help="skip the warm-up batch on startup")
-        p.add_argument("--slow-ms", type=_positive_float, default=250.0,
+        p.add_argument("--slow-ms", type=_nonnegative_float, default=250.0,
                        help="flight-record OK requests at or above this "
-                            "latency in milliseconds (strictly positive; "
-                            "use --flight-size 0 to disable capture)")
+                            "latency in milliseconds (0 disables slow "
+                            "capture)")
         p.add_argument("--flight-size", type=_nonnegative_int, default=128,
                        help="flight-recorder ring size — recent slow/error/"
                             "timeout requests kept for /debug/requests "

@@ -62,8 +62,10 @@ _HELP = {
     "serve.worker_recycles": "Graceful shard worker recycles.",
     "serve.worker_deaths": "Shard workers found dead and respawned.",
     "serve.redispatched": "Accepted requests re-dispatched after a worker loss.",
-    "serve.drift.score": "Aggregate drift score: mean per-column PSI of the "
+    "serve.drift.score": "Aggregate drift score: max per-column PSI of the "
     "recent window vs. the training reference.",
+    "serve.drift.score_mean": "Mean per-column PSI of the recent window vs. "
+    "the training reference (breadth of the shift).",
     "serve.drift.psi": "Per-feature-column PSI vs. the training reference.",
     "serve.drift.input_psi": "Input-statistic PSI (mean/std/length) vs. the "
     "training reference.",
@@ -71,7 +73,10 @@ _HELP = {
     "closest pattern is this one.",
     "serve.drift.alert": "1 while the drift score exceeds the alert threshold.",
     "serve.drift.rows": "Feature rows folded into the live drift sketches.",
-    "serve.drift.dropped": "Rows dropped because the drift backlog was full.",
+    "serve.drift.dropped": "Rows dropped by the drift monitor (full backlog "
+    "or a feature width that no longer matches the reference).",
+    "serve.drift.fold_errors": "Drift fold batches dropped by an unexpected "
+    "error (the fold thread survives and keeps folding).",
     "serve.drift.evaluations": "Drift evaluations run (PSI + gauge export).",
     "serve.drift.alerts": "Drift alert rising edges (flight-recorded).",
 }

@@ -85,11 +85,12 @@ class ServeConfig:
     #: reference: a registry version published with ``reference=True``
     #: or one built from the artifact at attach time).
     drift: bool = False
-    #: Recent-window half-life of the live sketches, in observations —
-    #: after this many further rows, earlier traffic carries half its
-    #: weight in the drift comparison.
+    #: Recent-window half-life of the live sketches, in observations
+    #: on the monitor's global clock (summed across shards) — after
+    #: this many further rows, earlier traffic carries half its weight
+    #: in the drift comparison, idle shards included.
     drift_window: int = 256
-    #: Aggregate drift score (mean per-column PSI) above which the
+    #: Aggregate drift score (max per-column PSI) above which the
     #: monitor alerts; 0.25 is the conventional "significant shift"
     #: PSI reading.
     drift_threshold: float = 0.25

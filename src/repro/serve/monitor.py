@@ -47,7 +47,6 @@ from ..obs.metrics import MetricsRegistry, registry as global_registry
 from ..obs.sketch import (
     MEAN_RANGE,
     STD_RANGE,
-    DecayingSketch,
     DistributionSketch,
     ReferenceDistribution,
     psi,
@@ -142,16 +141,23 @@ def resolve_reference(
 
 def _compare_columns(
     reference: ReferenceDistribution, live_columns: list
-) -> tuple[list[float], float]:
-    """Per-column PSI vs. the reference plus the aggregate score (their
-    mean — one shifted column out of many still moves the score, while
-    a single noisy bin cannot swamp it)."""
+) -> tuple[list[float], float, float]:
+    """Per-column PSI vs. the reference plus two aggregates.
+
+    The alert score is the **max** per-column PSI: a single strongly
+    shifted pattern column must trip the alert no matter how many quiet
+    columns the model carries (a mean dilutes it by ``n_columns`` and
+    loses sensitivity as models grow). The mean is computed alongside
+    as a breadth signal — "how much of the model has moved" — and
+    exported as ``serve.drift.score_mean``.
+    """
     per_column = [
         psi(ref_col, live_col)
         for ref_col, live_col in zip(reference.columns, live_columns)
     ]
-    score = float(np.mean(per_column)) if per_column else 0.0
-    return per_column, score
+    score = float(np.max(per_column)) if per_column else 0.0
+    score_mean = float(np.mean(per_column)) if per_column else 0.0
+    return per_column, score, score_mean
 
 
 def offline_drift_report(
@@ -178,7 +184,7 @@ def offline_drift_report(
             f"reference carries {reference.n_columns}"
         )
     live = ReferenceDistribution.from_features(features, X)
-    per_column, score = _compare_columns(reference, live.columns)
+    per_column, score, score_mean = _compare_columns(reference, live.columns)
     input_psi = {}
     for stat in _INPUT_STATS:
         ref_sketch = getattr(reference, f"input_{stat}")
@@ -196,6 +202,7 @@ def offline_drift_report(
     ]
     return {
         "score": score,
+        "score_mean": score_mean,
         "threshold": threshold,
         "alert": score > threshold,
         "rows": int(features.shape[0]),
@@ -217,23 +224,26 @@ def _top_offenders(per_column: list, n: int = 3) -> list:
 class _ShardSketches:
     """Live sketch set for one shard (or the whole single-process tier).
 
-    ``recent`` sketches decay with ``half_life=window`` observations —
-    the distribution PSI is computed on; ``lifetime`` sketches never
-    decay — the "since start-up" view ``/drift`` shows beside it.
+    ``recent`` sketches track the recent window — the distribution PSI
+    is computed on; ``lifetime`` sketches never decay — the "since
+    start-up" view ``/drift`` shows beside it. Decay is *not* applied
+    here per fold: the monitor drives :meth:`decay` for **every** shard
+    on its global observed-row clock, so a shard that stops receiving
+    traffic still forgets — otherwise an idle shard's stale mass would
+    sit in the merged recent window forever, diluting the PSI signal
+    from the live shards.
     """
 
     __slots__ = ("recent", "lifetime", "inputs_recent", "inputs_lifetime",
                  "best_counts")
 
-    def __init__(self, n_columns: int, window: int) -> None:
-        self.recent = [
-            DecayingSketch.log_bins(half_life=window) for _ in range(n_columns)
-        ]
+    def __init__(self, n_columns: int) -> None:
+        self.recent = [DistributionSketch.log_bins() for _ in range(n_columns)]
         self.lifetime = [DistributionSketch.log_bins() for _ in range(n_columns)]
         self.inputs_recent = {
-            "mean": DecayingSketch.linear_bins(*MEAN_RANGE, half_life=window),
-            "std": DecayingSketch.linear_bins(*STD_RANGE, half_life=window),
-            "length": DecayingSketch.log_bins(half_life=window),
+            "mean": DistributionSketch.linear_bins(*MEAN_RANGE),
+            "std": DistributionSketch.linear_bins(*STD_RANGE),
+            "length": DistributionSketch.log_bins(),
         }
         self.inputs_lifetime = {
             "mean": DistributionSketch.linear_bins(*MEAN_RANGE),
@@ -242,17 +252,23 @@ class _ShardSketches:
         }
         self.best_counts = np.zeros(n_columns)
 
-    def fold(self, features: np.ndarray, means, stds, lengths, window: int) -> None:
-        n = features.shape[0]
+    def decay(self, factor: float) -> None:
+        """Scale the recent-window state (recent sketches, input
+        sketches, best-match counts) by ``factor``; lifetime sketches
+        are untouched."""
+        for sketch in self.recent:
+            sketch.scale(factor)
+        for sketch in self.inputs_recent.values():
+            sketch.scale(factor)
+        self.best_counts *= factor
+
+    def fold(self, features: np.ndarray, means, stds, lengths) -> None:
         for k in range(features.shape[1]):
             self.recent[k].extend(features[:, k])
             self.lifetime[k].extend(features[:, k])
         for key, values in (("mean", means), ("std", stds), ("length", lengths)):
             self.inputs_recent[key].extend(values)
             self.inputs_lifetime[key].extend(values)
-        # Best-match counts decay on the same observation clock as the
-        # recent sketches, so the rates track the same window.
-        self.best_counts *= 0.5 ** (n / window)
         best = np.argmin(features, axis=1)
         for k, count in zip(*np.unique(best, return_counts=True)):
             self.best_counts[int(k)] += float(count)
@@ -275,15 +291,25 @@ class DriftMonitor:
     sketches, and every ``eval_every`` rows merges the shards and
     compares the merged recent window against ``reference``:
 
-    * ``serve.drift.score`` — aggregate drift score (mean column PSI);
+    * ``serve.drift.score`` — aggregate drift score: the **max**
+      per-column PSI, so one shifted pattern column trips the alert no
+      matter how many quiet columns surround it;
+    * ``serve.drift.score_mean`` — mean per-column PSI, the breadth
+      companion ("how much of the model has moved");
     * ``serve.drift.psi[column=k]`` — per-feature-column PSI;
     * ``serve.drift.input_psi[stat=mean|std|length]`` — input-stat PSI
       (only for stats the reference carries);
     * ``serve.drift.best_match_rate[pattern=k]`` — recent-window
       fraction of rows whose best match is pattern ``k``;
     * ``serve.drift.alert`` — 1 while the score exceeds ``threshold``;
-    * ``serve.drift.rows`` / ``dropped`` / ``evaluations`` / ``alerts``
-      counters.
+    * ``serve.drift.rows`` / ``dropped`` / ``fold_errors`` /
+      ``evaluations`` / ``alerts`` counters.
+
+    The recent window decays on the monitor's global observed-row
+    clock: every drained batch scales **all** shards' recent sketches
+    by ``0.5 ** (rows / window)``, so an idle shard's stale mass fades
+    at the same rate as live traffic arrives instead of lingering in
+    the merge forever.
 
     On the alert rising edge one flight-recorder entry with reason
     ``"drift"`` names the most-shifted columns, carrying the request
@@ -326,6 +352,7 @@ class DriftMonitor:
         self._shards: dict = {}  # shard key (int | None) -> _ShardSketches
         self._rows = 0
         self._dropped = 0
+        self._fold_errors = 0
         self._evaluations = 0
         self._alerts = 0
         self._alerting = False
@@ -401,40 +428,77 @@ class DriftMonitor:
                 self._wake.wait(0.01)
                 self._wake.clear()
                 continue
-            self._fold(batch)
+            self._fold_safely(batch)
         batch = self._take()
         if batch:
-            self._fold(batch)
+            self._fold_safely(batch)
 
     def _take(self) -> list:
         with self._lock:
             take = min(len(self._backlog), self._batch)
             return [self._backlog.popleft() for _ in range(take)]
 
+    def _fold_safely(self, batch: list) -> None:
+        """Fold one drained batch, containing any failure.
+
+        The fold thread has no supervisor: an uncaught exception would
+        kill it silently and freeze every ``serve.drift.*`` gauge at
+        its pre-crash value — the worst failure mode for a monitor,
+        stale numbers that look healthy. Monitoring is best-effort by
+        design, so a poisoned batch is counted, logged and dropped; the
+        thread lives on.
+        """
+        try:
+            self._fold(batch)
+        except Exception:
+            with self._lock:
+                self._fold_errors += 1
+            self.metrics.inc("serve.drift.fold_errors")
+            _log.warning(
+                "drift fold failed; dropping a batch of %d rows",
+                len(batch),
+                exc_info=True,
+            )
+
     def _fold(self, batch: list) -> None:
         by_shard: dict = {}
+        n_columns = self.reference.n_columns
+        stale = 0
         for request_id, series, features, batch_id, shard in batch:
-            by_shard.setdefault(shard, []).append((series, features))
+            row = np.asarray(features, dtype=float).ravel()
+            if row.shape[0] != n_columns:
+                # A hot-swap changed the pattern count under a stale
+                # reference; rows of either width can share one drained
+                # batch, so filter per row (never np.stack a mixed
+                # batch) — count and drop rather than corrupt.
+                stale += 1
+                continue
+            by_shard.setdefault(shard, []).append((series, row))
             self._last_seen = (request_id, batch_id, shard)
+        if stale:
+            self.metrics.inc("serve.drift.dropped", stale)
+            with self._lock:
+                self._dropped += stale
+        if not by_shard:
+            return
+        total = sum(len(rows) for rows in by_shard.values())
         with self._fold_lock:
+            # Decay every shard — including idle ones — on the global
+            # observed-row clock before folding, so a shard that stops
+            # receiving traffic forgets at the same rate as the live
+            # ones instead of pinning stale mass in the merged window.
+            factor = 0.5 ** (total / self.window)
+            for sketches in self._shards.values():
+                sketches.decay(factor)
             for shard, rows in by_shard.items():
                 sketches = self._shards.get(shard)
                 if sketches is None:
-                    sketches = self._shards[shard] = _ShardSketches(
-                        self.reference.n_columns, self.window
-                    )
-                features = np.stack([np.asarray(f, dtype=float) for _, f in rows])
-                if features.shape[1] != self.reference.n_columns:
-                    # A hot-swap changed the pattern count under a stale
-                    # reference; count and skip rather than corrupt.
-                    self.metrics.inc("serve.drift.dropped", features.shape[0])
-                    with self._lock:
-                        self._dropped += features.shape[0]
-                    continue
+                    sketches = self._shards[shard] = _ShardSketches(n_columns)
+                features = np.stack([row for _, row in rows])
                 means = [float(np.mean(s)) for s, _ in rows]
                 stds = [float(np.std(s)) for s, _ in rows]
                 lengths = [float(np.size(s)) for s, _ in rows]
-                sketches.fold(features, means, stds, lengths, self.window)
+                sketches.fold(features, means, stds, lengths)
                 n = features.shape[0]
                 with self._lock:
                     self._rows += n
@@ -451,7 +515,7 @@ class DriftMonitor:
             batch = self._take()
             if not batch:
                 break
-            self._fold(batch)
+            self._fold_safely(batch)
         with self._fold_lock:
             if self._shards:
                 self._evaluate_locked()
@@ -480,7 +544,9 @@ class DriftMonitor:
             for stat in _INPUT_STATS
         }
         best_counts = np.sum([s.best_counts for s in shard_sets], axis=0)
-        per_column, score = _compare_columns(self.reference, merged_recent)
+        per_column, score, score_mean = _compare_columns(
+            self.reference, merged_recent
+        )
         input_psi = {}
         for stat in _INPUT_STATS:
             ref_sketch = getattr(self.reference, f"input_{stat}")
@@ -494,6 +560,7 @@ class DriftMonitor:
         )
         alerting = score > self.threshold
         self.metrics.set_gauge("serve.drift.score", score)
+        self.metrics.set_gauge("serve.drift.score_mean", score_mean)
         self.metrics.set_gauge("serve.drift.alert", 1.0 if alerting else 0.0)
         for k, value in enumerate(per_column):
             self.metrics.set_gauge(f"serve.drift.psi[column={k}]", value)
@@ -537,6 +604,7 @@ class DriftMonitor:
         self._alerting = alerting
         self._last = {
             "score": score,
+            "score_mean": score_mean,
             "threshold": self.threshold,
             "alert": alerting,
             "columns": [
@@ -564,6 +632,7 @@ class DriftMonitor:
         with self._lock:
             rows = self._rows
             dropped = self._dropped
+            fold_errors = self._fold_errors
             evaluations = self._evaluations
             alerts = self._alerts
             backlog = len(self._backlog)
@@ -578,12 +647,14 @@ class DriftMonitor:
             "eval_every": self.eval_every,
             "rows": rows,
             "dropped": dropped,
+            "fold_errors": fold_errors,
             "evaluations": evaluations,
             "alerts": alerts,
             "backlog": backlog,
             "shards": shards,
             "reference": self.reference.meta(),
             "score": None if last is None else last["score"],
+            "score_mean": None if last is None else last["score_mean"],
             "alert": False if last is None else last["alert"],
             "columns": [] if last is None else last["columns"],
             "input_psi": {} if last is None else last["input_psi"],
@@ -595,6 +666,7 @@ class DriftMonitor:
         # exporter without bespoke formatting.
         gauges = {
             "serve.drift.score": 0.0 if last is None else last["score"],
+            "serve.drift.score_mean": 0.0 if last is None else last["score_mean"],
             "serve.drift.alert": 1.0 if payload["alert"] else 0.0,
         }
         if last is not None:

@@ -60,16 +60,30 @@ class TestFlagValidation:
         assert args.flight_size == 16
         assert args.slow_ms == 10.0
 
-    @pytest.mark.parametrize("flag", ["--slow-ms", "--admission-budget-ms"])
     @pytest.mark.parametrize("value", ["0", "-5"])
-    def test_positive_float_flags_reject_non_positive(self, flag, value, capsys):
-        # Regression: both thresholds were plain `type=float`, so
-        # `--slow-ms 0` flight-recorded every request and a negative
-        # admission budget shed all of them.
+    def test_admission_budget_rejects_non_positive(self, value, capsys):
+        # Regression: the threshold was plain `type=float`, so a zero
+        # or negative admission budget shed every request.
         with pytest.raises(SystemExit) as exc:
-            build_parser().parse_args(["serve", "--model", "m.npz", flag, value])
+            build_parser().parse_args(
+                ["serve", "--model", "m.npz", "--admission-budget-ms", value]
+            )
         assert exc.value.code == 2
         assert "must be a positive number" in capsys.readouterr().err
+
+    def test_slow_ms_rejects_negative_but_zero_disables(self, capsys):
+        # `--slow-ms 0` is the documented "disable slow capture"
+        # sentinel and must keep parsing; only negatives are rejected.
+        args = build_parser().parse_args(
+            ["serve", "--model", "m.npz", "--slow-ms", "0"]
+        )
+        assert args.slow_ms == 0.0
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(
+                ["serve", "--model", "m.npz", "--slow-ms", "-5"]
+            )
+        assert exc.value.code == 2
+        assert "must be >= 0" in capsys.readouterr().err
 
     @pytest.mark.parametrize("flag", ["--slow-ms", "--admission-budget-ms"])
     def test_positive_float_flags_reject_garbage(self, flag, capsys):

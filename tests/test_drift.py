@@ -494,22 +494,108 @@ class TestDriftMonitorUnit:
         assert state["rows"] == 0
         assert state["dropped"] == 1
 
+    def test_mixed_width_batch_folds_good_rows_and_drops_stale_ones(
+        self, reference, train_features
+    ):
+        # The hot-swap scenario proper: rows of the old and new width
+        # share one drained batch. Stale rows are filtered per row;
+        # the matching rows still fold and the batch never np.stacks a
+        # ragged array.
+        monitor = self._monitor(reference)
+        stale = np.zeros(reference.n_columns + 2)
+        for i, row in enumerate(train_features[:6]):
+            monitor.observe(f"req-{2 * i}", np.zeros(4), row)
+            monitor.observe(f"req-{2 * i + 1}", np.zeros(4), stale)
+        state_last = monitor.flush()
+        state = monitor.describe()
+        assert state["rows"] == 6
+        assert state["dropped"] == 6
+        assert state["fold_errors"] == 0
+        assert state_last is not None  # the good rows were evaluated
+
+    def test_fold_thread_survives_a_poisoned_batch(
+        self, reference, train_features
+    ):
+        # A row that blows up mid-fold (here: a string that fails
+        # float conversion) must not kill the drain thread — it is
+        # counted in fold_errors and later rows keep folding, so the
+        # gauges never freeze at a stale pre-crash value.
+        monitor = self._monitor(reference)
+        with monitor:
+            monitor.observe("req-bad", np.zeros(4), "not-a-feature-row")
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if monitor.describe()["fold_errors"] == 1:
+                    break
+                time.sleep(0.01)
+            assert monitor.describe()["fold_errors"] == 1
+            for i, row in enumerate(train_features[:8]):
+                monitor.observe(f"req-{i}", np.zeros(4), row)
+            _wait_for_rows(monitor, 8)
+        assert monitor.flush() is not None  # the good rows still evaluate
+        state = monitor.describe()
+        assert state["rows"] == 8
+        assert state["fold_errors"] == 1
+        assert (
+            monitor.metrics.snapshot()["counters"]["serve.drift.fold_errors"]
+            == 1
+        )
+
+    def test_score_is_the_max_per_column_psi(self, reference, train_features):
+        # One strongly shifted pattern column must trip the score even
+        # when every other column stays quiet — a mean would dilute it
+        # by n_columns. The mean ships alongside as the breadth signal.
+        rows = train_features.copy()
+        rows[:, 0] = rows[:, 0] * 6.0 + 3.0
+        monitor = self._monitor(reference, window=10**6)
+        for i, row in enumerate(rows):
+            monitor.observe(f"req-{i}", np.zeros(4), row)
+        state = monitor.flush()
+        per_column = [c["psi"] for c in state["columns"]]
+        assert state["score"] == max(per_column)
+        assert math.isclose(state["score_mean"], np.mean(per_column))
+        assert state["score"] > state["score_mean"]
+        assert state["top_offenders"][0]["column"] == 0
+
     def test_shard_tagged_rows_merge_to_the_single_stream_result(
         self, reference, train_features
     ):
         shifted = train_features * 6.0 + 3.0
-        merged = self._monitor(reference, window=10**6)
-        single = self._monitor(reference, window=10**6)
+        # A realistic window: decay runs on the monitor's global
+        # observed-row clock, so the shard split sees the *same* decay
+        # schedule as the single stream and the merge stays exact.
+        merged = self._monitor(reference, window=32)
+        single = self._monitor(reference, window=32)
         for i, row in enumerate(shifted):
             merged.observe(f"req-{i}", np.zeros(4), row, shard=i % 2)
             single.observe(f"req-{i}", np.zeros(4), row, shard=None)
         merged_state = merged.flush()
         single_state = single.flush()
         assert merged.describe()["shards"] == [0, 1]
-        # With decay negligible the shard merge is exact.
         assert math.isclose(
             merged_state["score"], single_state["score"], rel_tol=1e-9
         )
+
+    def test_idle_shard_decays_on_the_global_clock(
+        self, reference, train_features
+    ):
+        # A shard that stops receiving traffic must fade out of the
+        # merged recent window: after many windows of in-distribution
+        # traffic on shard 1 alone, shard 0's early shifted rows no
+        # longer hold the score above the threshold.
+        shifted = train_features * 6.0 + 3.0
+        monitor = self._monitor(reference, window=16, threshold=0.25)
+        for i, row in enumerate(shifted[:16]):
+            monitor.observe(f"bad-{i}", np.zeros(4), row, shard=0)
+        assert monitor.flush()["score"] > 0.25
+        n = 0
+        for _ in range(20):  # ~20 half-lives of fresh traffic
+            for row in train_features[:16]:
+                monitor.observe(f"ok-{n}", np.zeros(4), row, shard=1)
+                n += 1
+        state = monitor.flush()
+        assert state["score"] < 0.25
+        assert not state["alert"]
 
     def test_describe_exposes_flat_gauges_for_the_exporter(
         self, reference, train_features
