@@ -67,6 +67,7 @@ from .obs import (
 from .runtime.cache import DEFAULT_CACHE_SIZE
 from .runtime.kernel import KERNEL_BACKENDS
 from .runtime.discretize_cache import DEFAULT_DISCRETIZE_CACHE_SIZE
+from .runtime.selection_cache import DEFAULT_SELECTION_CACHE_SIZE
 from .sax.discretize import REDUCTIONS, SaxParams
 from .serve import (
     CompiledModel,
@@ -194,6 +195,7 @@ def _build_rpm(args, tracer: Tracer | None = None) -> RPMClassifier:
         kernel_backend=args.kernel_backend,
         cache_size=args.cache_size,
         discretize_cache_size=args.discretize_cache_size,
+        selection_cache_size=args.selection_cache_size,
         numerosity_reduction=args.numerosity,
         trace=tracer,
     )
@@ -709,6 +711,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="discretization pre-work cache entries shared by "
                             "the parameter search (must be positive; the "
                             "library-level DiscretizationCache(0) remains "
+                            "available for uncached runs)")
+        p.add_argument("--selection-cache-size", type=_positive_int,
+                       default=DEFAULT_SELECTION_CACHE_SIZE,
+                       help="CFS selection pre-work cache entries shared by "
+                            "the parameter search (must be positive; the "
+                            "library-level SelectionCache(0) remains "
                             "available for uncached runs)")
         p.add_argument("--numerosity", choices=list(REDUCTIONS), default="exact",
                        help="numerosity reduction mode: 'exact' collapses "

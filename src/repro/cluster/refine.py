@@ -58,7 +58,7 @@ class RefinedCluster:
 
     member_indices: list[int]
     aligned: np.ndarray
-    pairwise: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    pairwise: np.ndarray | None = field(repr=False, default=None)
 
     @property
     def size(self) -> int:

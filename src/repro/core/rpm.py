@@ -35,6 +35,7 @@ from ..runtime.discretize_cache import (
 )
 from ..runtime.executor import BACKENDS, ParallelExecutor
 from ..runtime.kernel import KERNEL_BACKENDS
+from ..runtime.selection_cache import DEFAULT_SELECTION_CACHE_SIZE, SelectionCache
 from ..sax.discretize import SaxParams
 from ..sax.znorm import znorm
 from .candidates import find_candidates
@@ -100,6 +101,11 @@ class RPMClassifier(BaseEstimator):
         Entries in the discretization LRU cache shared by the parameter
         search and mining (z-normalized window matrices + PAA
         reductions per ``(series, window_size)``; ``0`` disables).
+    selection_cache_size:
+        Column entries in the CFS selection LRU cache shared by the
+        parameter search and the final fit (per-column discretized
+        codes + SU blocks per ``(column, labels, bins)``; ``0``
+        disables). Never changes results — see ``docs/runtime.md``.
     numerosity_reduction:
         ``True`` (paper default, collapse exact-duplicate consecutive
         words), ``False`` (keep all), or one of ``'exact'`` /
@@ -138,6 +144,7 @@ class RPMClassifier(BaseEstimator):
         kernel_backend: str = "auto",
         cache_size: int = DEFAULT_CACHE_SIZE,
         discretize_cache_size: int = DEFAULT_DISCRETIZE_CACHE_SIZE,
+        selection_cache_size: int = DEFAULT_SELECTION_CACHE_SIZE,
         trace=None,
     ) -> None:
         if param_search not in ("direct", "grid"):
@@ -170,12 +177,14 @@ class RPMClassifier(BaseEstimator):
         self.kernel_backend = kernel_backend
         self.cache_size = cache_size
         self.discretize_cache_size = discretize_cache_size
+        self.selection_cache_size = selection_cache_size
         # ``trace`` is kept verbatim for get_params()/clone(); the
         # resolved tracer is what the pipeline actually uses.
         self.trace = trace
         self.tracer = resolve_tracer(trace)
         self._stats_cache = WindowStatsCache(cache_size)
         self._discretize_cache = DiscretizationCache(discretize_cache_size)
+        self._selection_cache = SelectionCache(selection_cache_size)
 
         self.patterns_: list[RepresentativePattern] = []
         self.params_by_class_: dict = {}
@@ -227,6 +236,7 @@ class RPMClassifier(BaseEstimator):
                     rotation_invariant=self.rotation_invariant,
                     executor=executor,
                     cache=self._stats_cache,
+                    selection_cache=self._selection_cache,
                     tracer=tracer,
                     kernel_backend=self.kernel_backend,
                 )
@@ -263,6 +273,7 @@ class RPMClassifier(BaseEstimator):
             executor=executor,
             tracer=self.tracer,
             discretize_cache=self._discretize_cache,
+            selection_cache=self._selection_cache,
         )
         if self.param_search == "direct":
             params = selector.select_direct(max_evaluations=self.direct_budget)

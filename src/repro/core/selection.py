@@ -19,10 +19,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..distance.best_match import batch_best_distances, best_match
+from ..distance.best_match import batch_best_distances
 from ..ml.cfs import cfs_select
 from ..obs.metrics import registry
 from ..obs.tracer import NOOP
+from ..runtime.kernel import (
+    PrenormalizedPattern,
+    SlidingWindowStats,
+    prenormalize_pattern,
+    tie_break_argmin_rows,
+)
 from .patterns import PatternCandidate, RepresentativePattern
 from .transform import pattern_features
 
@@ -39,7 +45,7 @@ class SelectionResult:
     tau: float
     n_candidates_in: int
     n_after_dedup: int
-    train_features: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    train_features: np.ndarray | None = field(repr=False, default=None)
     cfs_merit: float = 0.0
 
 
@@ -61,6 +67,39 @@ def compute_tau(
     return float(np.percentile(np.concatenate(pools), percentile))
 
 
+class _DedupBank:
+    """One per-length bank of kept candidates for :func:`remove_similar`.
+
+    Kept values live in a capacity-doubling row matrix (amortized O(L)
+    appends instead of an O(k·L) ``np.stack`` per probe) alongside their
+    :class:`~repro.runtime.kernel.PrenormalizedPattern` forms, so the
+    longer-candidate probe is one batched kernel call over patterns
+    whose z-normalization was paid once at insert time.
+    """
+
+    __slots__ = ("length", "_values", "count", "prenormalized")
+
+    def __init__(self, length: int) -> None:
+        self.length = int(length)
+        self._values = np.empty((4, self.length))
+        self.count = 0
+        self.prenormalized: list[PrenormalizedPattern] = []
+
+    def append(self, values: np.ndarray) -> None:
+        if self.count == self._values.shape[0]:
+            grown = np.empty((2 * self.count, self.length))
+            grown[: self.count] = self._values
+            self._values = grown
+        self._values[self.count] = values
+        self.count += 1
+        self.prenormalized.append(prenormalize_pattern(values))
+
+    @property
+    def values(self) -> np.ndarray:
+        """The kept rows — a view, identical to stacking the kept list."""
+        return self._values[: self.count]
+
+
 def remove_similar(
     candidates: list[PatternCandidate],
     tau: float,
@@ -72,31 +111,47 @@ def remove_similar(
     candidate wins. Scanning in descending frequency makes the result
     order-independent: a kept candidate can never lose to a later one.
 
-    Kept candidates are bucketed by length so each comparison against a
-    bucket of longer-or-equal patterns is one batched closest-match
-    call — candidate lengths cluster tightly around the SAX window, so
-    there are few buckets.
+    Kept candidates are bucketed by length into incrementally grown
+    :class:`_DedupBank` arrays — candidate lengths cluster tightly
+    around the SAX window, so there are few buckets. A shorter-or-equal
+    candidate probes a bucket with one batched closest-match call over
+    the bank's row matrix; a longer candidate slides every prenormalized
+    bank pattern over itself through the batched kernel (mat-vec, the
+    bitwise-exact backend), with the same low-tie-break distance the
+    scalar ``best_match`` loop reported.
     """
     ordered = sorted(candidates, key=lambda c: c.frequency, reverse=True)
     kept: list[PatternCandidate] = []
-    values_by_length: dict[int, list[np.ndarray]] = {}
+    banks: dict[int, _DedupBank] = {}
 
     def is_similar(candidate: PatternCandidate) -> bool:
-        for length, values in values_by_length.items():
+        for length, bank in banks.items():
             if candidate.length <= length:
-                dists = batch_best_distances(candidate.values, np.stack(values))
+                dists = batch_best_distances(candidate.values, bank.values)
                 if bool((dists < tau).any()):
                     return True
             else:
-                for existing in values:
-                    if best_match(existing, candidate.values).distance < tau:
-                        return True
+                # Bank patterns slide over the (longer) candidate: one
+                # SlidingWindowStats build per bucket instead of a full
+                # rolling-statistics pass per kept pattern.
+                stats = SlidingWindowStats(candidate.values[None, :], length)
+                profiles = stats.batch_profiles_prenormalized(
+                    bank.prenormalized, backend="matvec"
+                )
+                positions = tie_break_argmin_rows(profiles)
+                dists = np.take_along_axis(
+                    profiles, positions[:, :, None], axis=2
+                )[:, 0, 0]
+                if bool((dists < tau).any()):
+                    return True
         return False
 
     for candidate in ordered:
         if not is_similar(candidate):
             kept.append(candidate)
-            values_by_length.setdefault(candidate.length, []).append(candidate.values)
+            banks.setdefault(candidate.length, _DedupBank(candidate.length)).append(
+                candidate.values
+            )
     return kept
 
 
@@ -113,7 +168,10 @@ def _cap_candidates(
 ) -> list[PatternCandidate]:
     if len(candidates) <= max_candidates:
         return candidates
-    labels = {c.label for c in candidates}
+    # First-appearance label order: iterating a set here would make the
+    # capped pool's class grouping (and every downstream frequency
+    # tie-break) depend on the hash seed for string labels.
+    labels = list(dict.fromkeys(c.label for c in candidates))
     per_class = max(1, max_candidates // len(labels))
     capped: list[PatternCandidate] = []
     for label in labels:
@@ -133,6 +191,7 @@ def find_distinct(
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
     executor=None,
     cache=None,
+    selection_cache=None,
     tracer=NOOP,
     kernel_backend: str = "auto",
 ) -> SelectionResult:
@@ -143,11 +202,14 @@ def find_distinct(
     downstream classifier without recomputing distances).
 
     ``executor``/``cache`` are forwarded to the training-set feature
-    transform (stage 3), the step that dominates Algorithm 2's cost.
-    ``tracer`` records a ``select`` span with ``tau`` / ``dedup`` /
-    ``transform`` / ``cfs`` children; de-duplication and CFS drop
-    counts go to the metrics registry (``candidates.dropped_dedup``,
-    ``patterns.selected``).
+    transform (stage 3), the step that dominates Algorithm 2's cost;
+    ``selection_cache`` (a
+    :class:`~repro.runtime.selection_cache.SelectionCache`) memoizes
+    the CFS stage's per-column discretization and SU blocks across
+    calls with overlapping candidate pools. ``tracer`` records a
+    ``select`` span with ``tau`` / ``dedup`` / ``transform`` / ``cfs``
+    children; de-duplication and CFS drop counts go to the metrics
+    registry (``candidates.dropped_dedup``, ``patterns.selected``).
     """
     if not candidates:
         raise ValueError("no candidates to select from")
@@ -175,7 +237,7 @@ def find_distinct(
             kernel_backend=kernel_backend,
         )
         with tracer.span("cfs") as cfs_span:
-            result = cfs_select(features, y)
+            result = cfs_select(features, y, cache=selection_cache)
             cfs_span.add("patterns.selected", len(result.selected))
         metrics.inc("patterns.selected", len(result.selected))
     patterns = [

@@ -25,6 +25,12 @@ window length. This package factors that out:
     keyed on (series fingerprint, window size), so parameter-search
     evaluations sharing a window skip straight to the breakpoint
     lookup.
+``selection_cache``
+    :class:`SelectionCache` — LRU cache of CFS selection pre-work
+    (per-column discretized codes, entropies and feature-class SU, plus
+    fully prepared SU blocks per feature-matrix fingerprint), so
+    parameter-search evaluations with overlapping candidate pools skip
+    re-scoring shared feature columns.
 
 Determinism guarantee: parallelism only changes *scheduling*, never the
 floating-point expressions, so results are bitwise identical across
@@ -40,24 +46,36 @@ from .discretize_cache import (
 from .executor import ParallelExecutor, resolve_n_jobs
 from .kernel import (
     KERNEL_BACKENDS,
+    PrenormalizedPattern,
     SlidingWindowStats,
+    prenormalize_pattern,
     resample_pattern,
     resolve_backend,
     sliding_best_distances,
     tie_break_argmin,
     tie_break_argmin_rows,
 )
+from .selection_cache import (
+    DEFAULT_SELECTION_CACHE_SIZE,
+    SelectionCache,
+    SelectionColumn,
+)
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_DISCRETIZE_CACHE_SIZE",
+    "DEFAULT_SELECTION_CACHE_SIZE",
     "DiscretizationCache",
     "DiscretizationEntry",
     "KERNEL_BACKENDS",
     "ParallelExecutor",
+    "PrenormalizedPattern",
+    "SelectionCache",
+    "SelectionColumn",
     "SlidingWindowStats",
     "WindowStatsCache",
     "default_cache",
+    "prenormalize_pattern",
     "resample_pattern",
     "resolve_backend",
     "resolve_n_jobs",

@@ -1,0 +1,324 @@
+"""LRU cache of CFS selection pre-work for the parameter search.
+
+Algorithm 3 (``ParamSelector``) calls ``find_distinct`` once per
+(parameter triple × validation split), and every call used to
+re-discretize its pattern-distance feature matrix and re-score every
+feature column from scratch. Neighbouring triples mine heavily
+overlapping candidate pools over the same training rows, so their
+feature matrices share whole columns — and a column's discretized
+codes, entropy and feature-class SU depend only on (column values,
+bins) and (column values, labels, bins), never on the rest of the
+matrix.
+
+:class:`SelectionCache` therefore memoizes at two granularities:
+
+* **columns** — one entry per ``(column fingerprint, bins)`` holding
+  the integer codes and entropy, with the per-label-fingerprint
+  feature-class SU accumulating lazily on the entry (mirroring
+  :class:`~repro.runtime.discretize_cache.DiscretizationEntry`'s
+  per-``paa_size`` memoization);
+* **matrices** — one entry per ``(features fingerprint, label
+  fingerprint, bins, max_features)`` holding the fully prepared SU
+  blocks (feature-class vector, searchable cap, feature-feature
+  matrix), so a repeated ``cfs_select`` on an identical pool skips all
+  SU work.
+
+The feature-feature SU matrix is deliberately *not* cached per column
+pair: the scalar reference orients every pair by original column index,
+and caching values across matrices with different column orders would
+admit last-ulp orientation differences. Keeping pair SU at matrix
+granularity preserves the bitwise-identical-results guarantee; the
+blocked kernel makes recomputing it cheap.
+
+Fingerprints are content hashes (the
+:class:`~repro.runtime.discretize_cache.DiscretizationCache` token
+idiom), so mutated or different data can never alias an entry. Eviction
+is least-recently-used per table; counters are published as
+``select.cache.hits`` / ``select.cache.misses`` /
+``select.cache.evictions``. Thread-safe; computation happens outside
+the lock (concurrent misses may duplicate work but results are bitwise
+identical).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from ..ml.cfs import (
+    _entropy,
+    _searchable_indices,
+    column_entropies,
+    discretize_features,
+    feature_class_su,
+    feature_feature_su_matrix,
+)
+from ..obs.metrics import MetricsRegistry, registry
+
+__all__ = [
+    "DEFAULT_SELECTION_CACHE_SIZE",
+    "SelectionCache",
+    "SelectionColumn",
+]
+
+#: Default maximum number of (column, bins) entries. A parameter-search
+#: evaluation scores ~100 candidate columns and DIRECT keeps a working
+#: set of a few overlapping pools per split, so a few hundred columns
+#: covers the reuse window without holding stale splits forever.
+DEFAULT_SELECTION_CACHE_SIZE = 512
+
+
+class SelectionColumn:
+    """Cached pre-work for one ``(feature column, bins)`` pair.
+
+    ``codes``/``entropy`` are immutable once built; ``su_fc(y_token)``
+    lazily accumulates the feature-class SU per label fingerprint
+    (computed by the caller — the entry is just the memo).
+    """
+
+    __slots__ = ("codes", "entropy", "_su_fc", "_lock")
+
+    def __init__(self, codes: np.ndarray, entropy: float) -> None:
+        self.codes = codes
+        self.entropy = entropy
+        self._su_fc: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def get_su_fc(self, y_token: str) -> float | None:
+        with self._lock:
+            return self._su_fc.get(y_token)
+
+    def set_su_fc(self, y_token: str, value: float) -> float:
+        with self._lock:
+            return self._su_fc.setdefault(y_token, value)
+
+    @property
+    def n_labelings(self) -> int:
+        """Number of label fingerprints with a memoized SU."""
+        return len(self._su_fc)
+
+
+class SelectionCache:
+    """Thread-safe LRU cache of CFS selection pre-work.
+
+    Parameters
+    ----------
+    max_entries:
+        Column-entry cap; the least recently used ``(column, bins)``
+        entry is evicted past it. Prepared-matrix entries are capped at
+        ``max(1, max_entries // 32)``. ``0`` disables caching (every
+        call computes fresh) while keeping the interface.
+
+    Counters ``hits`` / ``misses`` / ``evictions`` are kept as instance
+    attributes for tests and additionally published to a
+    :class:`~repro.obs.metrics.MetricsRegistry` (``select.cache.hits``
+    / ``select.cache.misses`` / ``select.cache.evictions``) — the
+    process-wide registry by default. A prepared-matrix probe counts
+    one hit or miss; on a matrix miss each column probe counts
+    individually (the per-label SU memo rides the column entry
+    uncounted, like the discretization cache's PAA memo).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_SELECTION_CACHE_SIZE,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self.max_matrix_entries = max(1, self.max_entries // 32)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._metrics = metrics if metrics is not None else registry()
+        self._columns: OrderedDict[tuple, SelectionColumn] = OrderedDict()
+        self._matrices: OrderedDict[tuple, tuple] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    @property
+    def n_matrices(self) -> int:
+        """Number of prepared-matrix entries currently held."""
+        return len(self._matrices)
+
+    @staticmethod
+    def token(values: np.ndarray) -> str:
+        """Content fingerprint of an array (any dtype, any shape).
+
+        Hashing runs at memory bandwidth — negligible next to the
+        quantile/contingency work it guards — and makes stale hits
+        impossible (mutated data hashes to a new key).
+        """
+        values = np.ascontiguousarray(np.asarray(values))
+        digest = hashlib.blake2b(values.tobytes(), digest_size=16)
+        digest.update(repr((values.dtype.str, values.shape)).encode())
+        return digest.hexdigest()
+
+    def _count(self, hit: bool, n: int = 1) -> None:
+        if hit:
+            self.hits += n
+            self._metrics.inc("select.cache.hits", n)
+        else:
+            self.misses += n
+            self._metrics.inc("select.cache.misses", n)
+
+    def prepare(
+        self,
+        X: np.ndarray,
+        y_codes: np.ndarray,
+        *,
+        bins: int,
+        max_features: int | None,
+    ) -> tuple[np.ndarray, list[int], np.ndarray]:
+        """The blocked-SU pre-work for one ``cfs_select`` call.
+
+        Returns ``(su_fc, searchable, ff_matrix)`` — bitwise what the
+        uncached blocked path computes; only the amount of recomputation
+        changes with the cache state.
+        """
+        X = np.asarray(X, dtype=float)
+        y_codes = np.asarray(y_codes)
+        n, d = X.shape
+        bins = int(bins)
+        col_tokens = [self.token(np.ascontiguousarray(X[:, j])) for j in range(d)]
+        y_token = self.token(y_codes)
+        matrix_key = (
+            hashlib.blake2b("".join(col_tokens).encode(), digest_size=16).hexdigest(),
+            y_token,
+            bins,
+            max_features,
+        )
+
+        if self.max_entries == 0:
+            self._count(hit=False)
+            return self._build(X, y_codes, bins, max_features, None, None)
+
+        with self._lock:
+            prepared = self._matrices.get(matrix_key)
+            if prepared is not None:
+                self._matrices.move_to_end(matrix_key)
+        if prepared is not None:
+            self._count(hit=True)
+            return prepared
+        self._count(hit=False)
+
+        # Assemble per-column codes/entropies from the column table.
+        columns: list[SelectionColumn | None] = []
+        with self._lock:
+            for token in col_tokens:
+                entry = self._columns.get((token, bins))
+                if entry is not None:
+                    self._columns.move_to_end((token, bins))
+                columns.append(entry)
+        n_hits = sum(1 for c in columns if c is not None)
+        if n_hits:
+            self._count(hit=True, n=n_hits)
+        if d - n_hits:
+            self._count(hit=False, n=d - n_hits)
+
+        prepared = self._build(X, y_codes, bins, max_features, columns, col_tokens)
+
+        evicted = 0
+        with self._lock:
+            self._matrices[matrix_key] = prepared
+            self._matrices.move_to_end(matrix_key)
+            while len(self._matrices) > self.max_matrix_entries:
+                self._matrices.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+            while len(self._columns) > self.max_entries:
+                self._columns.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted:
+            self._metrics.inc("select.cache.evictions", evicted)
+        return prepared
+
+    def _build(
+        self,
+        X: np.ndarray,
+        y_codes: np.ndarray,
+        bins: int,
+        max_features: int | None,
+        columns: list | None,
+        col_tokens: list[str] | None,
+    ) -> tuple[np.ndarray, list[int], np.ndarray]:
+        """Compute (and memoize, when enabled) the SU blocks."""
+        n, d = X.shape
+        y_token = self.token(y_codes) if col_tokens is not None else ""
+        if columns is None:
+            columns = [None] * d
+
+        codes = np.empty((n, d), dtype=int)
+        h_cols = np.empty(d)
+        missing = [j for j, entry in enumerate(columns) if entry is None]
+        if missing:
+            # One vectorized pass over just the missing columns —
+            # discretization and entropy are column-independent, so the
+            # subset build is bitwise the full-matrix build restricted.
+            fresh_codes = discretize_features(X[:, missing], bins=bins)
+            fresh_h = column_entropies(fresh_codes)
+            for pos, j in enumerate(missing):
+                codes[:, j] = fresh_codes[:, pos]
+                h_cols[j] = fresh_h[pos]
+        for j, entry in enumerate(columns):
+            if entry is not None:
+                codes[:, j] = entry.codes
+                h_cols[j] = entry.entropy
+
+        if col_tokens is not None:
+            # Insert the fresh columns (build-outside-lock; last writer
+            # wins on races, results are bitwise identical).
+            with self._lock:
+                for j in missing:
+                    key = (col_tokens[j], bins)
+                    entry = self._columns.setdefault(
+                        key, SelectionColumn(codes[:, j].copy(), float(h_cols[j]))
+                    )
+                    self._columns.move_to_end(key)
+                    columns[j] = entry
+
+        # Feature-class SU: serve memoized (column, labels) values and
+        # run the blocked kernel over the rest only.
+        su_fc = np.empty(d)
+        need = list(range(d))
+        if col_tokens is not None:
+            need = []
+            for j, entry in enumerate(columns):
+                value = entry.get_su_fc(y_token) if entry is not None else None
+                if value is None:
+                    need.append(j)
+                else:
+                    su_fc[j] = value
+        if need:
+            class_entropy = _entropy(y_codes)
+            fresh_fc = feature_class_su(
+                codes[:, need],
+                y_codes,
+                entropies=h_cols[need],
+                class_entropy=class_entropy,
+            )
+            su_fc[need] = fresh_fc
+            if col_tokens is not None:
+                for pos, j in enumerate(need):
+                    if columns[j] is not None:
+                        columns[j].set_su_fc(y_token, float(fresh_fc[pos]))
+
+        searchable = _searchable_indices(su_fc, max_features)
+        ff_matrix = feature_feature_su_matrix(
+            codes, searchable, entropies=h_cols[searchable]
+        )
+        return su_fc, searchable, ff_matrix
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._columns.clear()
+            self._matrices.clear()

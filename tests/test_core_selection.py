@@ -1,9 +1,15 @@
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.core.patterns import PatternCandidate
 from repro.core.selection import (
     SelectionResult,
+    _cap_candidates,
     compute_tau,
     find_distinct,
     remove_similar,
@@ -142,3 +148,65 @@ class TestFindDistinct:
         X, y = _feature_dataset(rng, n_per_class=3)
         with pytest.raises(ValueError, match="no candidates"):
             find_distinct(X, y, [])
+
+
+_CAP_ORDER_SCRIPT = """\
+import numpy as np
+from repro.core.patterns import PatternCandidate
+from repro.core.selection import _cap_candidates
+from repro.sax.discretize import SaxParams
+
+rng = np.random.default_rng(99)
+labels = ["gun", "point", "noise", "drift"]
+candidates = [
+    PatternCandidate(
+        values=rng.standard_normal(8),
+        label=labels[i % 4],
+        frequency=i % 7,
+        support=1,
+        rule_id=i,
+        words=("ab",),
+        sax_params=SaxParams(8, 4, 4),
+        within_distances=np.empty(0),
+    )
+    for i in range(40)
+]
+for c in _cap_candidates(candidates, 12):
+    print(c.rule_id, c.label, c.frequency)
+"""
+
+
+class TestCapCandidates:
+    def test_first_appearance_label_order(self):
+        candidates = [
+            _candidate(np.arange(8.0), label=label, frequency=f)
+            for label, f in [("b", 5), ("a", 9), ("b", 1), ("a", 2), ("c", 7)]
+        ]
+        capped = _cap_candidates(candidates, 3)
+        assert [c.label for c in capped] == ["b", "a", "c"]
+        assert [c.frequency for c in capped] == [5, 9, 7]
+
+    def test_no_cap_below_limit(self):
+        candidates = [_candidate(np.arange(8.0), label="x")]
+        assert _cap_candidates(candidates, 5) is candidates
+
+    def test_order_independent_of_hash_seed(self):
+        # String labels once flowed through a set(), so the capped pool
+        # depended on PYTHONHASHSEED. Two interpreters with different
+        # seeds must now produce the identical pool.
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        outputs = []
+        for seed in ("0", "424242"):
+            env = os.environ.copy()
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+            proc = subprocess.run(
+                [sys.executable, "-c", _CAP_ORDER_SCRIPT],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+        assert outputs[0].strip()
